@@ -1,0 +1,84 @@
+"""Ablations — the engineering knobs that substitute for the paper's
+constants (see DESIGN.md, "Substitutions").
+
+* ``eps`` — the Storing-Theorem exponent trades lookup depth against
+  branching: smaller eps = deeper/narrower tries (cheaper updates on big
+  universes), larger eps = shallower/wider.
+* ``bag_naive_threshold`` — Step 1's "naive algorithm" cutoff: 0 forces
+  the splitter/removal recursion everywhere, large values solve bags by
+  memoized scans.  Both must give identical answers; the timing shows
+  why the paper's cutoff exists.
+* ``dist_max_depth`` — the λ stand-in for the distance index.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import make_graph
+
+QUERY = "dist(x, y) > 2 & Blue(y)"
+
+
+@pytest.mark.parametrize("eps", [0.25, 0.5, 0.75])
+def test_trie_eps(benchmark, eps):
+    from repro.storage.trie import TrieStore
+
+    n = 2 ** 14
+    rng = random.Random(0)
+    keys = [(rng.randrange(n),) for _ in range(3000)]
+
+    def build_and_probe():
+        store = TrieStore(n, 1, eps=eps)
+        for key in keys:
+            store.insert(key, 0)
+        for key in keys:
+            store.lookup(key)
+        return store
+
+    store = benchmark.pedantic(build_and_probe, rounds=1, iterations=1)
+    benchmark.extra_info["d"] = store.d
+    benchmark.extra_info["h"] = store.h
+    benchmark.extra_info["registers"] = store.registers_used
+
+
+@pytest.mark.parametrize("threshold", [16, 64, 220])
+def test_bag_threshold(benchmark, threshold):
+    from repro.core.config import EngineConfig
+    from repro.core.engine import build_index
+
+    g = make_graph("planar", 512)
+    config = EngineConfig(bag_naive_threshold=threshold)
+    index = benchmark.pedantic(
+        build_index, args=(g, QUERY), kwargs={"config": config}, rounds=1, iterations=1
+    )
+    # identical answers regardless of the knob
+    assert index.test((0, 1)) in (True, False)
+    benchmark.extra_info["threshold"] = threshold
+
+
+@pytest.mark.parametrize("depth", [1, 3])
+def test_distance_recursion_depth(benchmark, depth):
+    from repro.core.distance_index import DistanceIndex
+
+    g = make_graph("grid", 2048)
+    index = benchmark.pedantic(
+        DistanceIndex, args=(g, 2), kwargs={"max_depth": depth}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["measured_depth"] = index.recursion_depth
+
+
+def test_answers_invariant_under_knobs():
+    """The knobs change cost, never answers (asserted, not timed)."""
+    from repro.core.config import EngineConfig
+    from repro.core.engine import build_index
+
+    g = make_graph("planar", 160)
+    reference = None
+    for threshold in (8, 64, 500):
+        config = EngineConfig(bag_naive_threshold=threshold, dist_naive_threshold=16)
+        index = build_index(g, QUERY, config=config)
+        solutions = list(index.enumerate())
+        if reference is None:
+            reference = solutions
+        assert solutions == reference

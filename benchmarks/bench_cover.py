@@ -1,0 +1,57 @@
+"""E4 — neighborhood covers (Theorem 4.4).
+
+Claims under test:
+
+* (r, 2r)-covers are computable in pseudo-linear time — the timing
+  series should track ``n``;
+* the degree stays small (``n^eps`` in the theorem) — reported as
+  ``extra_info`` along with ``Σ|X| / n`` (the paper's pseudo-linear
+  total bag size).
+"""
+
+import pytest
+
+from benchmarks.conftest import SIZES, make_graph
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("family", ["tree", "grid", "planar"])
+def test_build_cover(benchmark, family, n):
+    from repro.covers.neighborhood_cover import build_cover
+
+    g = make_graph(family, n)
+    cover = benchmark.pedantic(build_cover, args=(g, 2), rounds=1, iterations=1)
+    benchmark.extra_info["degree"] = cover.degree()
+    benchmark.extra_info["degree_bound_sqrt_n"] = round(n ** 0.5, 1)
+    benchmark.extra_info["total_bag_size_over_n"] = round(
+        cover.total_bag_size() / n, 2
+    )
+
+
+@pytest.mark.parametrize("radius", [1, 2, 4, 8])
+def test_radius_sweep(benchmark, radius):
+    from repro.covers.neighborhood_cover import build_cover
+
+    g = make_graph("grid", 4096)
+    cover = benchmark.pedantic(build_cover, args=(g, radius), rounds=1, iterations=1)
+    benchmark.extra_info["degree"] = cover.degree()
+    benchmark.extra_info["bags"] = cover.num_bags
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_kernels(benchmark, n):
+    """Lemma 5.7: kernels in O(p * ||G[X]||) per bag."""
+    from repro.covers.kernels import kernel_of_bag
+    from repro.covers.neighborhood_cover import build_cover
+
+    g = make_graph("planar", n)
+    cover = build_cover(g, 2)
+
+    def all_kernels():
+        return [kernel_of_bag(g, bag, 2) for bag in cover.bags]
+
+    kernels = benchmark.pedantic(all_kernels, rounds=1, iterations=1)
+    total = sum(len(k) for k in kernels)
+    benchmark.extra_info["kernel_fraction"] = round(
+        total / max(cover.total_bag_size(), 1), 2
+    )

@@ -1,0 +1,83 @@
+"""E12 — the headline crossover: index vs materialize-everything.
+
+The paper's motivation (Section 1): the result set can be quadratic in
+``n``, so computing all of ``q(G)`` is the wrong unit of work.  Claims
+under test:
+
+* naive full materialization grows ~quadratically for a binary query
+  with a large result set;
+* index preprocessing grows pseudo-linearly — so there is an ``n`` where
+  build-the-index beats materialize-everything *even for a single pass*,
+  and streaming the first k solutions wins long before that;
+* the per-answer cost after preprocessing is independent of the result
+  set's size.
+"""
+
+import pytest
+
+from benchmarks.conftest import SMALL_SIZES, cached_graph, cached_index, make_graph
+
+QUERY = "dist(x, y) > 2 & Blue(y)"  # result set is Θ(n^2); grid family: uniformly bounded balls
+
+
+@pytest.mark.parametrize("n", SMALL_SIZES)
+def test_naive_materialize(benchmark, n):
+    from repro.baselines.naive import NaiveIndex
+    from repro.logic.parser import parse_formula
+    from repro.logic.syntax import Var
+
+    g = make_graph("grid", n)
+    phi = parse_formula(QUERY)
+
+    def materialize():
+        return len(NaiveIndex(g, phi, (Var("x"), Var("y"))).solutions)
+
+    count = benchmark.pedantic(materialize, rounds=1, iterations=1)
+    benchmark.extra_info["solutions"] = count
+
+
+@pytest.mark.parametrize("n", SMALL_SIZES)
+def test_index_build(benchmark, n):
+    from repro.core.engine import build_index
+
+    g = make_graph("grid", n)
+    index = benchmark.pedantic(
+        build_index, args=(g, QUERY), rounds=1, iterations=1
+    )
+    assert index.method == "indexed"
+
+
+@pytest.mark.parametrize("n", SMALL_SIZES)
+def test_index_build_plus_first_50(benchmark, n):
+    """The streaming use case: preprocessing + the first 50 answers."""
+    from repro.core.engine import build_index
+
+    g = make_graph("grid", n)
+
+    def build_and_stream():
+        index = build_index(g, QUERY)
+        out = []
+        for solution in index.enumerate():
+            out.append(solution)
+            if len(out) >= 50:
+                break
+        return out
+
+    result = benchmark.pedantic(build_and_stream, rounds=1, iterations=1)
+    assert len(result) == 50
+
+
+@pytest.mark.parametrize("k_prefix", (10, 100, 1000))
+def test_streaming_cost_independent_of_result_size(benchmark, k_prefix):
+    """After preprocessing, emitting k answers costs Θ(k) — not Θ(|q(G)|)."""
+    index = cached_index("grid", 2048, QUERY)
+
+    def stream():
+        out = 0
+        for _ in index.enumerate():
+            out += 1
+            if out >= k_prefix:
+                break
+        return out
+
+    assert benchmark(stream) == k_prefix

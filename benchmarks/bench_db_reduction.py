@@ -1,0 +1,81 @@
+"""E11 — the relational-to-colored-graph reduction (Lemma 2.2).
+
+Claims under test:
+
+* building ``A'(D)`` is linear in ``||D||``;
+* query rewriting is linear in ``|phi|`` (and independent of the data);
+* end-to-end: the index over ``A'(D)`` answers the relational query —
+  the answer count matches the relational baseline exactly.
+"""
+
+import random
+
+import pytest
+
+
+def make_db(people, facts_per_person=2, seed=0):
+    from repro.db.database import Database, Schema
+
+    rng = random.Random(seed)
+    db = Database(Schema({"Friend": 2, "Likes": 2}), domain_size=people)
+    for p in range(1, people):
+        buddy = rng.randrange(max(0, p - 5), p)
+        db.add("Friend", (p, buddy))
+        db.add("Friend", (buddy, p))
+    for _ in range(people * facts_per_person // 2):
+        a, b = rng.randrange(people), rng.randrange(people)
+        if a != b:
+            db.add("Likes", (a, b))
+    return db
+
+
+@pytest.mark.parametrize("people", (512, 2048, 8192))
+def test_adjacency_graph_build(benchmark, people):
+    from repro.db.adjacency import adjacency_graph
+
+    db = make_db(people)
+    encoding = benchmark.pedantic(adjacency_graph, args=(db,), rounds=1, iterations=1)
+    benchmark.extra_info["graph_size_over_db_size"] = round(
+        encoding.graph.size / db.size, 2
+    )
+
+
+def test_rewrite_linear_in_query(benchmark):
+    from repro.db.rewrite import RelationAtom, rewrite_query
+    from repro.logic.syntax import And, Exists, Var
+
+    x, y = Var("x"), Var("y")
+    chain = RelationAtom("Friend", (x, y))
+    previous = x
+    parts = []
+    for i in range(12):
+        nxt = Var(f"v{i}")
+        parts.append(RelationAtom("Friend", (previous, nxt)))
+        previous = nxt
+    phi = parts[0]
+    for part in parts[1:]:
+        phi = And((phi, part))
+    for i in range(11, 0, -1):
+        phi = Exists(Var(f"v{i}"), phi)
+
+    benchmark(rewrite_query, phi)
+
+
+@pytest.mark.parametrize("people", (128, 512))
+def test_end_to_end_relational_query(benchmark, people):
+    from repro.core.engine import build_index
+    from repro.db.adjacency import adjacency_graph
+    from repro.db.rewrite import RelationAtom, rewrite_query
+    from repro.logic.syntax import Var
+
+    db = make_db(people)
+    encoding = adjacency_graph(db)
+    x, y = Var("x"), Var("y")
+    psi = rewrite_query(RelationAtom("Friend", (x, y)))
+
+    def build_and_count():
+        index = build_index(encoding.graph, psi, free_order=(x, y))
+        return index.count()
+
+    count = benchmark.pedantic(build_and_count, rounds=1, iterations=1)
+    assert count == len(db.relation("Friend"))

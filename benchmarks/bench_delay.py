@@ -1,0 +1,60 @@
+"""E9 — constant-delay enumeration (Corollary 2.5).
+
+Claims under test:
+
+* the *maximum* delay between consecutive outputs is flat in ``n``
+  (reported as ``extra_info`` in microseconds, alongside the mean);
+* outputs arrive in lexicographic order without repetition (asserted);
+* total enumeration time is linear in the output count.
+"""
+
+import pytest
+
+from benchmarks.conftest import SIZES, cached_graph, cached_index, make_graph
+
+QUERY = "dist(x, y) > 2 & Blue(y)"
+
+
+@pytest.mark.parametrize("n", (512, 1024, 2048))
+def test_delay_profile(benchmark, n):
+    from repro.core.engine import build_index
+    from repro.core.enumeration import enumerate_with_delays
+
+    index = cached_index("planar", n, QUERY)
+    g = index.graph
+
+    def enumerate_all():
+        return enumerate_with_delays(index._impl)
+
+    solutions, delays = benchmark.pedantic(enumerate_all, rounds=1, iterations=1)
+    assert solutions == sorted(set(solutions))
+    benchmark.extra_info["solutions"] = len(solutions)
+    if delays:
+        ordered = sorted(delays)
+        benchmark.extra_info["delay_mean_us"] = round(
+            sum(delays) / len(delays) * 1e6, 1
+        )
+        benchmark.extra_info["delay_p99_us"] = round(
+            ordered[int(0.99 * (len(ordered) - 1))] * 1e6, 1
+        )
+        benchmark.extra_info["delay_max_us"] = round(ordered[-1] * 1e6, 1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_first_hundred(benchmark, n):
+    """Streaming the first 100 solutions: cost must not depend on |result|."""
+    from repro.core.engine import build_index
+
+    index = cached_index("planar", n, QUERY)
+    g = index.graph
+
+    def first_hundred():
+        out = []
+        for solution in index.enumerate():
+            out.append(solution)
+            if len(out) >= 100:
+                break
+        return out
+
+    result = benchmark(first_hundred)
+    assert len(result) == 100

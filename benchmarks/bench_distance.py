@@ -1,0 +1,75 @@
+"""E3 — constant-time distance testing (Proposition 4.2).
+
+Claims under test:
+
+* preprocessing pseudo-linear: the ``preprocess`` group grows roughly
+  linearly in ``n``;
+* queries constant time: the ``query`` group is flat in ``n``;
+* the BFS baseline's per-query cost *grows* with the radius/degree —
+  this is the index's win.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import SIZES, cached_graph, cached_index, make_graph
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("family", ["planar", "grid"])
+def test_preprocess(once, family, n):
+    from repro.core.distance_index import DistanceIndex
+
+    g = make_graph(family, n)
+    index = once(DistanceIndex, g, 2)
+    # the recursion depth is the measured stand-in for lambda(2r)
+    # (Theorem 4.6); report it alongside the timing
+    assert index.test(0, 0)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_query(benchmark, n):
+    from repro.core.distance_index import DistanceIndex
+
+    g = make_graph("planar", n)
+    index = DistanceIndex(g, 2)
+    rng = random.Random(3)
+    probes = [(rng.randrange(n), rng.randrange(n)) for _ in range(512)]
+
+    def query_batch():
+        hits = 0
+        for a, b in probes:
+            if index.test(a, b):
+                hits += 1
+        return hits
+
+    benchmark(query_batch)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bfs_baseline_query(benchmark, n):
+    from repro.baselines.bfs_oracle import bfs_distance_at_most
+
+    g = make_graph("planar", n)
+    rng = random.Random(3)
+    probes = [(rng.randrange(n), rng.randrange(n)) for _ in range(512)]
+
+    def query_batch():
+        hits = 0
+        for a, b in probes:
+            if bfs_distance_at_most(g, a, b, 2):
+                hits += 1
+        return hits
+
+    benchmark(query_batch)
+
+
+@pytest.mark.parametrize("radius", [1, 2, 4])
+def test_radius_sweep(once, radius):
+    """Preprocessing cost versus radius at fixed n."""
+    from repro.core.distance_index import DistanceIndex
+
+    g = make_graph("grid", 2048)
+    index = once(DistanceIndex, g, radius)
+    assert index.test(0, 0)

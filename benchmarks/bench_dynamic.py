@@ -1,0 +1,55 @@
+"""E14 — dynamic color updates (the conclusion's future-work direction).
+
+Claims under test:
+
+* one color update costs ball-sized + ``O(n^eps)`` work — the update
+  series should stay (nearly) flat while ``n`` grows;
+* rebuilding from scratch grows linearly — the gap is the point;
+* queries after updates remain constant time.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import cached_graph
+
+QUERY = "exists y. E(x, y) & Hot(y)"
+
+
+@pytest.mark.parametrize("n", (512, 2048, 8192))
+def test_update(benchmark, n):
+    from repro.core.dynamic import DynamicUnaryIndex
+    from repro.logic.parser import parse_formula
+    from repro.logic.syntax import Var
+
+    g = cached_graph("planar", n).copy()  # updates mutate colors
+    index = DynamicUnaryIndex(g, parse_formula(QUERY), Var("x"))
+    rng = random.Random(2)
+    updates = [(rng.randrange(n), rng.random() < 0.5) for _ in range(64)]
+
+    def apply_updates():
+        for v, add in updates:
+            if add:
+                index.add_color("Hot", v)
+            else:
+                index.remove_color("Hot", v)
+
+    benchmark(apply_updates)
+    benchmark.extra_info["updates_per_round"] = len(updates)
+
+
+@pytest.mark.parametrize("n", (512, 2048, 8192))
+def test_rebuild_baseline(benchmark, n):
+    from repro.core.dynamic import DynamicUnaryIndex
+    from repro.logic.parser import parse_formula
+    from repro.logic.syntax import Var
+
+    g = cached_graph("planar", n).copy()
+    rng = random.Random(2)
+    g.set_color("Hot", [v for v in g.vertices() if rng.random() < 0.2])
+
+    def rebuild():
+        return DynamicUnaryIndex(g, parse_formula(QUERY), Var("x"))
+
+    benchmark.pedantic(rebuild, rounds=1, iterations=1)

@@ -1,0 +1,64 @@
+"""E7 — constant-time next-solution (Theorem 2.3 / 5.1).
+
+Claims under test:
+
+* preprocessing is pseudo-linear in ``|G|`` (build group);
+* upon input of *any* tuple, the smallest solution ``>= tuple`` is
+  computed in constant time — the ``next`` group must stay flat while
+  ``n`` grows 16x.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import SIZES, cached_graph, cached_index, make_graph
+
+QUERY = "dist(x, y) > 2 & Blue(y)"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_build(once, n):
+    from repro.core.engine import build_index
+
+    g = make_graph("planar", n)
+    index = once(build_index, g, QUERY)
+    assert index.method == "indexed"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_next_solution(benchmark, n):
+    from repro.core.engine import build_index
+
+    index = cached_index("planar", n, QUERY)
+    g = index.graph
+    rng = random.Random(5)
+    probes = [(rng.randrange(n), rng.randrange(n)) for _ in range(256)]
+
+    def next_batch():
+        found = 0
+        for probe in probes:
+            if index.next_solution(probe) is not None:
+                found += 1
+        return found
+
+    benchmark(next_batch)
+
+
+@pytest.mark.parametrize("query", [
+    "E(x, y)",
+    "exists z. E(x, z) & E(z, y)",
+    "dist(x, y) > 2 & Blue(y)",
+])
+def test_query_sweep(benchmark, query):
+    """Per-call cost across query shapes at fixed n."""
+    index = cached_index("planar", 2048, query)
+    g = index.graph
+    rng = random.Random(7)
+    probes = [(rng.randrange(g.n), rng.randrange(g.n)) for _ in range(256)]
+
+    def next_batch():
+        for probe in probes:
+            index.next_solution(probe)
+
+    benchmark(next_batch)

@@ -1,0 +1,58 @@
+"""E6 — skip pointers (Lemma 5.8).
+
+Claims under test:
+
+* preprocessing ``O(n^{1+k eps})`` — the build series tracks ``n`` with
+  the stored-pointer count reported;
+* ``SKIP(b, S)`` queries are constant time — the query group is flat.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import SIZES, make_graph
+
+
+def _setup(n, k, seed=0):
+    from repro.covers.kernels import kernel_of_bag
+    from repro.covers.neighborhood_cover import build_cover
+
+    g = make_graph("planar", n, seed=seed)
+    cover = build_cover(g, 2)
+    kernels = [kernel_of_bag(g, bag, 2) for bag in cover.bags]
+    rng = random.Random(seed)
+    targets = [v for v in g.vertices() if rng.random() < 0.4]
+    return g, cover, kernels, targets
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("k", [1, 2])
+def test_build(benchmark, n, k):
+    from repro.core.skip_pointers import SkipPointers
+
+    g, cover, kernels, targets = _setup(n, k)
+    skips = benchmark.pedantic(
+        SkipPointers, args=(g.n, targets, kernels, k), rounds=1, iterations=1
+    )
+    benchmark.extra_info["stored_pointers"] = skips.stored_pointers
+    benchmark.extra_info["pointers_per_vertex"] = round(skips.stored_pointers / n, 2)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_query(benchmark, n):
+    from repro.core.skip_pointers import SkipPointers
+
+    g, cover, kernels, targets = _setup(n, 2)
+    skips = SkipPointers(g.n, targets, kernels, k=2)
+    rng = random.Random(1)
+    probes = [
+        (rng.randrange(n), tuple(rng.sample(range(cover.num_bags), 2)))
+        for _ in range(512)
+    ]
+
+    def query_batch():
+        for b, bags in probes:
+            skips.skip(b, bags)
+
+    benchmark(query_batch)

@@ -1,0 +1,46 @@
+"""E10 — sparsity of nowhere dense families (Theorem 2.1).
+
+Claim under test: for every family we generate, ``||G|| <= |G|^{1+eps}``
+eventually — equivalently, the density exponent ``log ||G|| / log |G|``
+tends to 1.  The weak r-accessibility counts (the paper's
+characterization) should stay bounded on bounded-expansion families and
+grow on the subdivided-clique negative control.
+"""
+
+import pytest
+
+from benchmarks.conftest import SIZES, make_graph
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("family", ["tree", "grid", "planar", "degree3"])
+def test_density_exponent(benchmark, family, n):
+    from repro.graphs.sparsity import edge_density_exponent
+
+    g = make_graph(family, n)
+    exponent = benchmark.pedantic(edge_density_exponent, args=(g,), rounds=1, iterations=1)
+    benchmark.extra_info["exponent"] = round(exponent, 4)
+    assert exponent < 1.35  # Theorem 2.1's shape: converging to 1
+
+
+@pytest.mark.parametrize("n", (256, 1024, 4096))
+def test_weak_accessibility(benchmark, n):
+    from repro.graphs.sparsity import weak_coloring_number_upper_bound
+
+    g = make_graph("planar", n)
+    bound = benchmark.pedantic(
+        weak_coloring_number_upper_bound, args=(g, 2), rounds=1, iterations=1
+    )
+    benchmark.extra_info["weak_2_coloring_bound"] = bound  # flat in n
+
+
+def test_negative_control(benchmark):
+    """Subdivided cliques: somewhere dense at depth 1 — the bound grows."""
+    from repro.graphs.generators import subdivided_clique
+    from repro.graphs.sparsity import weak_coloring_number_upper_bound
+
+    g = subdivided_clique(40, subdivisions=1)
+    bound = benchmark.pedantic(
+        weak_coloring_number_upper_bound, args=(g, 2), rounds=1, iterations=1
+    )
+    benchmark.extra_info["weak_2_coloring_bound"] = bound

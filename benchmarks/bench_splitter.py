@@ -1,0 +1,47 @@
+"""E5 — the splitter game (Theorem 4.6).
+
+Claim under test: over a fixed nowhere dense family, Splitter wins in a
+number of rounds ``λ(r)`` independent of ``|G|`` (and mildly growing in
+``r``).  The benchmark measures rounds-to-win against adversarial
+Connectors; ``extra_info["rounds"]`` is the experiment's subject, the
+timing merely documents the cost of playing.
+"""
+
+import pytest
+
+from benchmarks.conftest import make_graph
+
+
+@pytest.mark.parametrize("n", (256, 1024, 2048))
+@pytest.mark.parametrize("family", ["tree", "grid"])
+def test_rounds_vs_n(benchmark, family, n):
+    from repro.splitter.game import rounds_to_win
+
+    g = make_graph(family, n)
+    rounds = benchmark.pedantic(
+        rounds_to_win, args=(g, 2), kwargs={"trials": 2}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["rounds"] = rounds  # should be flat in n
+
+
+@pytest.mark.parametrize("radius", [1, 2, 4])
+def test_rounds_vs_radius(benchmark, radius):
+    from repro.splitter.game import rounds_to_win
+
+    g = make_graph("tree", 1024)
+    rounds = benchmark.pedantic(
+        rounds_to_win, args=(g, radius), kwargs={"trials": 2}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["rounds"] = rounds
+
+
+def test_negative_control_subdivided_clique(benchmark):
+    """On the somewhere dense control, Splitter needs *more* rounds."""
+    from repro.graphs.generators import subdivided_clique
+    from repro.splitter.game import rounds_to_win
+
+    g = subdivided_clique(24, subdivisions=1)
+    rounds = benchmark.pedantic(
+        rounds_to_win, args=(g, 2), kwargs={"trials": 3}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["rounds"] = rounds

@@ -1,0 +1,81 @@
+"""E8 — constant-time testing (Corollary 2.4).
+
+Claims under test:
+
+* after preprocessing, testing whether a tuple is a solution is constant
+  time — the indexed group is flat in ``n``;
+* the baseline (naive per-tuple evaluation, one BFS per distance atom)
+  *grows* with ``n``'s neighborhood sizes; the index's advantage is the
+  gap between the two groups.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import SIZES, SMALL_SIZES, cached_graph, cached_index, make_graph
+
+QUERY = "dist(x, y) > 2 & Blue(y)"
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_indexed(benchmark, n):
+    from repro.core.engine import build_index
+
+    index = cached_index("planar", n, QUERY)
+    g = index.graph
+    rng = random.Random(11)
+    probes = [(rng.randrange(n), rng.randrange(n)) for _ in range(512)]
+
+    def test_batch():
+        hits = 0
+        for probe in probes:
+            if index.test(probe):
+                hits += 1
+        return hits
+
+    benchmark(test_batch)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_naive_baseline(benchmark, n):
+    from repro.logic.parser import parse_formula
+    from repro.logic.semantics import evaluate
+    from repro.logic.syntax import Var
+
+    g = make_graph("planar", n)
+    phi = parse_formula(QUERY)
+    x, y = Var("x"), Var("y")
+    rng = random.Random(11)
+    probes = [(rng.randrange(n), rng.randrange(n)) for _ in range(512)]
+
+    def test_batch():
+        hits = 0
+        for a, b in probes:
+            if evaluate(g, phi, {x: a, y: b}):
+                hits += 1
+        return hits
+
+    benchmark(test_batch)
+
+
+@pytest.mark.parametrize("n", SMALL_SIZES)
+def test_arity3_indexed(benchmark, n):
+    """Corollary 2.4 also holds at arity 3 (testing needs no prefix index)."""
+    from repro.core.engine import build_index
+
+    g = make_graph("planar", n)
+    index = build_index(g, "E(x, y) & dist(x, z) > 2 & Blue(z)")
+    rng = random.Random(13)
+    probes = [
+        (rng.randrange(n), rng.randrange(n), rng.randrange(n)) for _ in range(256)
+    ]
+
+    def test_batch():
+        hits = 0
+        for probe in probes:
+            if index.test(probe):
+                hits += 1
+        return hits
+
+    benchmark(test_batch)

@@ -1,0 +1,72 @@
+"""Shared helpers for the experiment benchmarks (see DESIGN.md Section 4).
+
+Each ``bench_*.py`` file regenerates one experiment E1-E12.  The
+pytest-benchmark table *is* the experiment's series: test ids carry the
+swept parameter (``n``, family, radius, ...), so reading one group top to
+bottom gives the scaling curve the paper's claim predicts.  Derived
+quantities that are not timings (cover degree, measured delay spread,
+crossover factors) are attached as ``extra_info`` and summarized in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.generators import (
+    bounded_degree_random_graph,
+    grid,
+    random_planar_like_graph,
+    random_tree,
+)
+
+#: Vertex-count sweep used by the scaling experiments.
+SIZES = (512, 2048, 8192)
+
+#: Smaller sweep for the quadratic-ish baselines.
+SMALL_SIZES = (128, 256, 512)
+
+
+def make_graph(family: str, n: int, seed: int = 1):
+    if family == "tree":
+        return random_tree(n, seed=seed)
+    if family == "grid":
+        side = max(int(n ** 0.5), 2)
+        return grid(side, side, seed=seed)
+    if family == "planar":
+        return random_planar_like_graph(n, seed=seed)
+    if family == "degree3":
+        return bounded_degree_random_graph(n, degree=3, seed=seed)
+    raise ValueError(f"unknown family {family!r}")
+
+
+_graph_cache: dict[tuple, object] = {}
+_index_cache: dict[tuple, object] = {}
+
+
+def cached_graph(family: str, n: int, seed: int = 1):
+    """Graphs shared across benches (construction is not what we measure)."""
+    key = (family, n, seed)
+    if key not in _graph_cache:
+        _graph_cache[key] = make_graph(family, n, seed)
+    return _graph_cache[key]
+
+
+def cached_index(family: str, n: int, query: str, seed: int = 1):
+    """Prebuilt query indexes shared by the query-time benches."""
+    from repro.core.engine import build_index
+
+    key = (family, n, query, seed)
+    if key not in _index_cache:
+        _index_cache[key] = build_index(cached_graph(family, n, seed), query)
+    return _index_cache[key]
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once (preprocessing-style measurements)."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,71 @@
+"""Sensor coverage example: counting without enumerating.
+
+A mesh of environmental sensors forms a hexagonal lattice (planar, max
+degree 3).  Some nodes carry a gas detector, some a backup battery.  The
+operations team wants, for a rolling report:
+
+1. for *each* gateway node: how many detector nodes are out of its
+   2-hop maintenance range — a per-prefix count (the [18]-style counting
+   reproduced in :mod:`repro.core.counting`), computed without
+   materializing the quadratic pair set;
+2. the total number of (gateway, far-detector) pairs, same machinery;
+3. a streamed sample of the first few such pairs (Corollary 2.5).
+
+Run:  python examples/sensor_coverage.py
+"""
+
+import random
+import time
+
+from repro.core.counting import CountingIndex
+from repro.graphs.generators import hex_grid
+from repro.logic.parser import parse_formula
+from repro.logic.syntax import Var
+
+
+def main() -> None:
+    mesh = hex_grid(18, 18, palette=())
+    rng = random.Random(3)
+    detectors = [v for v in mesh.vertices() if rng.random() < 0.2]
+    gateways = [v for v in mesh.vertices() if rng.random() < 0.1]
+    mesh.set_color("Detector", detectors)
+    mesh.set_color("Gateway", gateways)
+    print(
+        f"mesh: {mesh.n} nodes, {len(detectors)} detectors, "
+        f"{len(gateways)} gateways"
+    )
+
+    query = parse_formula("Gateway(x) & Detector(y) & dist(x, y) > 2")
+    x, y = Var("x"), Var("y")
+    tick = time.perf_counter()
+    counting = CountingIndex(mesh, query, (x, y))
+    built = time.perf_counter() - tick
+    print(f"counting index built in {built * 1000:.0f} ms ({counting.method})")
+
+    # (2) total count, no enumeration
+    tick = time.perf_counter()
+    total = counting.count()
+    counted = time.perf_counter() - tick
+    print(f"total far (gateway, detector) pairs: {total} "
+          f"(counted in {counted * 1000:.0f} ms)")
+
+    # (1) per-gateway counts
+    print("most under-covered gateways:")
+    per_gateway = sorted(
+        ((counting.count_suffixes(g), g) for g in gateways), reverse=True
+    )
+    for count, gateway in per_gateway[:5]:
+        print(f"  gateway {gateway}: {count} detectors beyond 2 hops")
+
+    # (3) stream a few witness pairs
+    print("sample pairs (lexicographic stream):")
+    from repro.core.enumeration import enumerate_solutions
+
+    for i, pair in enumerate(enumerate_solutions(counting.index)):
+        print(f"  {pair}")
+        if i >= 4:
+            break
+
+
+if __name__ == "__main__":
+    main()

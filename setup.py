@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package on offline machines (PEP 660 editable builds need bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

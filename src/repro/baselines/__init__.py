@@ -1,0 +1,12 @@
+"""Baselines the paper's algorithms are measured against.
+
+* :class:`~repro.baselines.naive.NaiveIndex` — materialize the whole
+  result set upfront (``O(n^k)`` evaluations), then answer from memory.
+* :func:`~repro.baselines.bfs_oracle.bfs_distance_at_most` — per-query
+  BFS distance testing, the baseline for Proposition 4.2.
+"""
+
+from repro.baselines.naive import NaiveIndex
+from repro.baselines.bfs_oracle import bfs_distance_at_most
+
+__all__ = ["NaiveIndex", "bfs_distance_at_most"]

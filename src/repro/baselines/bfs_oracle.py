@@ -1,0 +1,20 @@
+"""Per-query BFS distance testing — the baseline for Proposition 4.2.
+
+No preprocessing at all: every ``dist(a, b) <= r`` query runs a cutoff
+BFS, costing ``O(min(n, deg^r))`` per query.  The distance index's win is
+trading pseudo-linear preprocessing for constant-time queries.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.neighborhoods import bounded_bfs
+
+
+def bfs_distance_at_most(graph: ColoredGraph, a: int, b: int, r: int) -> bool:
+    """``dist(a, b) <= r`` by cutoff BFS (the no-index baseline)."""
+    if a == b:
+        return True
+    if r <= 0:
+        return False
+    return b in bounded_bfs(graph, [a], r)

@@ -1,0 +1,56 @@
+"""The materialize-everything baseline.
+
+Evaluates the query on every tuple upfront.  This is what the paper's
+pseudo-linear preprocessing + constant delay is an *alternative to*: the
+baseline's preprocessing is ``Θ(n^k)`` evaluations (each possibly
+expensive), although its per-answer operations are then trivially fast.
+Used for correctness oracles in tests and as the comparison subject of
+experiments E8/E9/E12.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Iterator
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.logic.semantics import solutions as naive_solutions
+from repro.logic.syntax import Formula, Var
+
+
+class NaiveIndex:
+    """Same interface as the engine's indexes, implemented by brute force."""
+
+    def __init__(
+        self,
+        graph: ColoredGraph,
+        phi: Formula,
+        free_order: tuple[Var, ...],
+    ) -> None:
+        self.graph = graph
+        self.phi = phi
+        self.free_order = tuple(free_order)
+        self.k = len(self.free_order)
+        self.solutions = list(naive_solutions(graph, phi, list(self.free_order)))
+        self._solution_set = set(self.solutions)
+
+    def test(self, values: tuple[int, ...]) -> bool:
+        """Membership in the materialized result set."""
+        return tuple(values) in self._solution_set
+
+    def next_solution(self, start: tuple[int, ...]) -> tuple[int, ...] | None:
+        """Smallest materialized solution >= start (binary search)."""
+        index = bisect_left(self.solutions, tuple(start))
+        return self.solutions[index] if index < len(self.solutions) else None
+
+    def enumerate(self) -> Iterator[tuple[int, ...]]:
+        """The materialized solutions, already sorted."""
+        return iter(self.solutions)
+
+    @property
+    def exact_delay(self) -> bool:
+        """Trivially constant delay: everything is materialized."""
+        return True
+
+    def __len__(self) -> int:
+        return len(self.solutions)

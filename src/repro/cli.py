@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``generate FAMILY N -o FILE``
+    Generate a nowhere dense family member and save it (format chosen by
+    extension: ``.json`` or edge-list text).
+
+``info FILE``
+    Print a graph's vital statistics (size, density exponent, degeneracy).
+
+``explain QUERY``
+    Diagnose whether a query is in the indexable fragment and why.
+
+``query FILE QUERY [--enumerate N] [--count] [--test a,b] [--next a,b]``
+    Build the Theorem 2.3 index over the graph in FILE and answer.
+
+``bench FILE QUERY``
+    One-line timing summary: preprocessing, per-test, per-next.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.engine import build_index
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.generators import FAMILIES
+from repro.graphs.io import read_edge_list, read_json, write_edge_list, write_json
+from repro.graphs.sparsity import degeneracy, edge_density_exponent
+from repro.logic.diagnostics import explain
+
+
+def _load_graph(path: str) -> ColoredGraph:
+    source = Path(path)
+    if source.suffix == ".json":
+        loaded = read_json(source)
+        if not isinstance(loaded, ColoredGraph):
+            raise SystemExit(f"{path} holds a database, not a colored graph")
+        return loaded
+    return read_edge_list(source)
+
+
+def _parse_tuple(text: str) -> tuple[int, ...]:
+    try:
+        return tuple(int(part) for part in text.split(","))
+    except ValueError:
+        raise SystemExit(f"expected a comma-separated tuple, got {text!r}")
+
+
+def _cmd_generate(args) -> int:
+    if args.family not in FAMILIES:
+        raise SystemExit(
+            f"unknown family {args.family!r}; choose from {sorted(FAMILIES)}"
+        )
+    graph = FAMILIES[args.family](args.n, seed=args.seed)
+    out = Path(args.output)
+    if out.suffix == ".json":
+        write_json(graph, out)
+    else:
+        write_edge_list(graph, out)
+    print(f"wrote {graph!r} to {out}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    graph = _load_graph(args.graph)
+    print(f"vertices:          {graph.n}")
+    print(f"edges:             {graph.num_edges}")
+    print(f"colors:            {', '.join(sorted(graph.color_names)) or '(none)'}")
+    print(f"density exponent:  {edge_density_exponent(graph):.4f}")
+    print(f"degeneracy:        {degeneracy(graph)}")
+    if args.locality:
+        from repro.graphs.validation import locality_report
+
+        print()
+        print(locality_report(graph, radius=args.radius).render())
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    report = explain(args.query)
+    print(report.render())
+    return 0 if report.decomposable else 1
+
+
+def _cmd_query(args) -> int:
+    graph = _load_graph(args.graph)
+    index = build_index(graph, args.query, method=args.method)
+    print(
+        f"index built: method={index.method}, arity={index.arity}, "
+        f"preprocessing={index.preprocessing_seconds * 1000:.1f} ms"
+    )
+    if args.stats:
+        import json as _json
+
+        print(_json.dumps(index.stats(), indent=1, sort_keys=True))
+    if args.count:
+        print(f"count: {index.count()}")
+    if args.test is not None:
+        values = _parse_tuple(args.test)
+        print(f"test{values}: {index.test(values)}")
+    if args.next is not None:
+        values = _parse_tuple(args.next)
+        print(f"next{values}: {index.next_solution(values)}")
+    if args.enumerate:
+        shown = 0
+        for solution in index.enumerate():
+            print(" ".join(map(str, solution)))
+            shown += 1
+            if shown >= args.enumerate:
+                break
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    graph = _load_graph(args.graph)
+    tick = time.perf_counter()
+    index = build_index(graph, args.query)
+    build = time.perf_counter() - tick
+    probes = [
+        tuple((7 * i + j) % graph.n for j in range(index.arity))
+        for i in range(200)
+    ]
+    tick = time.perf_counter()
+    for probe in probes:
+        index.test(probe)
+    per_test = (time.perf_counter() - tick) / len(probes)
+    tick = time.perf_counter()
+    for probe in probes:
+        index.next_solution(probe)
+    per_next = (time.perf_counter() - tick) / len(probes)
+    print(
+        f"n={graph.n} method={index.method} build={build:.2f}s "
+        f"test={per_test * 1e6:.0f}us next={per_next * 1e6:.0f}us"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro`` (see module docstring)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Constant-delay FO query enumeration over sparse graphs",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a sparse graph")
+    generate.add_argument("family", help=f"one of {sorted(FAMILIES)}")
+    generate.add_argument("n", type=int, help="approximate vertex count")
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    info = commands.add_parser("info", help="print graph statistics")
+    info.add_argument("graph")
+    info.add_argument("--locality", action="store_true",
+                      help="sample r-ball sizes and render a locality verdict")
+    info.add_argument("--radius", type=int, default=2)
+    info.set_defaults(func=_cmd_info)
+
+    explain_cmd = commands.add_parser("explain", help="diagnose a query")
+    explain_cmd.add_argument("query")
+    explain_cmd.set_defaults(func=_cmd_explain)
+
+    query = commands.add_parser("query", help="index a graph and answer")
+    query.add_argument("graph")
+    query.add_argument("query")
+    query.add_argument("--method", default="auto", choices=["auto", "indexed", "naive"])
+    query.add_argument("--count", action="store_true")
+    query.add_argument("--stats", action="store_true")
+    query.add_argument("--test", metavar="a,b")
+    query.add_argument("--next", metavar="a,b")
+    query.add_argument("--enumerate", type=int, default=0, metavar="N")
+    query.set_defaults(func=_cmd_query)
+
+    bench = commands.add_parser("bench", help="one-line timing summary")
+    bench.add_argument("graph")
+    bench.add_argument("query")
+    bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

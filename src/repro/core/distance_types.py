@@ -1,0 +1,112 @@
+"""Distance types (Section 5.1.2).
+
+The *r-distance type* of a tuple ``ā`` is the undirected graph on the
+positions ``{0..k-1}`` with an edge ``{i, j}`` iff ``dist(a_i, a_j) <= r``.
+The normal form decomposes a query per type: positions in the same
+connected component are "close" (they share a bag), components are
+pairwise far, and the query factorizes over components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterator
+
+#: Guard against exponentially many types for silly arities.
+MAX_TYPE_ARITY = 6
+
+
+@dataclass(frozen=True)
+class DistanceType:
+    """A distance type: a graph on positions ``0..k-1``."""
+
+    k: int
+    edges: frozenset[frozenset[int]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        for edge in self.edges:
+            if len(edge) != 2 or not all(0 <= i < self.k for i in edge):
+                raise ValueError(f"invalid type edge {set(edge)} for arity {self.k}")
+
+    def has_edge(self, i: int, j: int) -> bool:
+        """Are positions ``i`` and ``j`` within distance r under this type?"""
+        return frozenset((i, j)) in self.edges
+
+    def components(self) -> list[frozenset[int]]:
+        """Connected components, sorted by smallest member."""
+        parent = list(range(self.k))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for edge in self.edges:
+            i, j = tuple(edge)
+            parent[find(i)] = find(j)
+        groups: dict[int, set[int]] = {}
+        for i in range(self.k):
+            groups.setdefault(find(i), set()).add(i)
+        return sorted((frozenset(g) for g in groups.values()), key=min)
+
+    def component_of(self, position: int) -> frozenset[int]:
+        for component in self.components():
+            if position in component:
+                return component
+        raise ValueError(f"position {position} out of range")  # pragma: no cover
+
+    def restrict(self, positions: frozenset[int]) -> "DistanceType":
+        """The induced sub-type on ``positions``, relabeled to ``0..|P|-1``."""
+        order = sorted(positions)
+        index = {p: i for i, p in enumerate(order)}
+        edges = frozenset(
+            frozenset((index[i], index[j]))
+            for edge in self.edges
+            for i, j in [tuple(edge)]
+            if i in positions and j in positions
+        )
+        return DistanceType(len(order), edges)
+
+    def __repr__(self) -> str:
+        pairs = sorted(tuple(sorted(e)) for e in self.edges)
+        return f"DistanceType(k={self.k}, edges={pairs})"
+
+
+def all_types(k: int) -> Iterator[DistanceType]:
+    """All ``2^(k choose 2)`` distance types of arity ``k``."""
+    if k > MAX_TYPE_ARITY:
+        raise ValueError(
+            f"arity {k} would enumerate 2^{k*(k-1)//2} distance types; "
+            f"the engine supports arity <= {MAX_TYPE_ARITY}"
+        )
+    pairs = list(combinations(range(k), 2))
+    for mask in range(1 << len(pairs)):
+        edges = frozenset(
+            frozenset(pairs[bit]) for bit in range(len(pairs)) if mask >> bit & 1
+        )
+        yield DistanceType(k, edges)
+
+
+def type_of(values: tuple[int, ...], close) -> DistanceType:
+    """The distance type of ``values`` under the closeness oracle.
+
+    ``close(a, b)`` must decide ``dist(a, b) <= r`` — in the engine this is
+    the :class:`~repro.core.distance_index.DistanceIndex` of Prop 4.2.
+    """
+    k = len(values)
+    edges = set()
+    for i in range(k):
+        for j in range(i + 1, k):
+            if close(values[i], values[j]):
+                edges.add(frozenset((i, j)))
+    return DistanceType(k, frozenset(edges))
+
+
+def prefix_consistent(tau: DistanceType, prefix_type: DistanceType) -> bool:
+    """Does ``tau`` restricted to the first ``k-1`` positions equal
+    ``prefix_type``?  (The answering phase's first filter.)"""
+    k = prefix_type.k
+    restricted = tau.restrict(frozenset(range(k)))
+    return restricted == prefix_type

@@ -1,0 +1,193 @@
+"""The public facade: build an index, then test / next / enumerate.
+
+:func:`build_index` is the library's main entry point.  It accepts a
+query as text or as a :class:`~repro.logic.syntax.Formula`, picks the
+tuple coordinate order, and builds either the paper's index
+(:class:`~repro.core.next_solution.NextSolutionIndex`) or — when the
+query falls outside the decomposable fragment and ``method="auto"`` —
+the naive baseline, reporting which one it chose.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
+from repro.baselines.naive import NaiveIndex
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.enumeration import enumerate_solutions
+from repro.core.next_solution import NextSolutionIndex
+from repro.core.normal_form import DecompositionError
+from repro.graphs.colored_graph import ColoredGraph
+from repro.logic.parser import parse_formula
+from repro.logic.syntax import Formula, Var
+from repro.logic.transform import free_variables
+
+
+@dataclass
+class QueryIndex:
+    """A built index with the Theorem 2.3 / Corollaries 2.4-2.5 interface.
+
+    Attributes
+    ----------
+    method:
+        ``"indexed"`` (the paper's pipeline) or ``"naive"`` (baseline
+        fallback for undecomposable queries).
+    preprocessing_seconds:
+        Wall-clock time of the preprocessing phase.
+    """
+
+    graph: ColoredGraph
+    phi: Formula
+    free_order: tuple[Var, ...]
+    method: str
+    preprocessing_seconds: float
+    _impl: object
+
+    @property
+    def arity(self) -> int:
+        """Number of free variables / output tuple width."""
+        return len(self.free_order)
+
+    @property
+    def exact_delay(self) -> bool:
+        """Whether the constant-delay guarantee holds end to end."""
+        return getattr(self._impl, "exact_delay", True)
+
+    def test(self, values: Sequence[int]) -> bool:
+        """Corollary 2.4: constant-time membership testing."""
+        return self._impl.test(tuple(values))
+
+    def next_solution(self, start: Sequence[int]) -> tuple[int, ...] | None:
+        """Theorem 2.3: smallest solution ``>= start`` (lexicographic)."""
+        return self._impl.next_solution(tuple(start))
+
+    def enumerate(
+        self, start: Sequence[int] | None = None
+    ) -> Iterator[tuple[int, ...]]:
+        """Corollary 2.5: solutions ``>= start``, increasing, constant delay.
+
+        Omitting ``start`` yields the whole result set; passing a tuple
+        resumes mid-stream for free (pagination).
+        """
+        if isinstance(self._impl, NaiveIndex):
+            iterator = self._impl.enumerate()
+            if start is None:
+                return iterator
+            threshold = tuple(start)
+            return (t for t in iterator if t >= threshold)
+        return enumerate_solutions(
+            self._impl, None if start is None else tuple(start)
+        )
+
+    def count(self) -> int:
+        """|phi(G)| by full enumeration (the paper cites [18] for faster)."""
+        return sum(1 for _ in self.enumerate())
+
+    def stats(self) -> dict:
+        """Observability: what the preprocessing actually built.
+
+        For the indexed method: per induction level, the decomposition
+        radius, cover shape and per-bag solver modes.  For the naive
+        method: the materialized result size.
+        """
+        out: dict = {
+            "method": self.method,
+            "arity": self.arity,
+            "preprocessing_seconds": round(self.preprocessing_seconds, 6),
+        }
+        if isinstance(self._impl, NaiveIndex):
+            out["materialized_solutions"] = len(self._impl)
+            return out
+        out["exact_delay"] = self.exact_delay
+        levels = []
+        node = self._impl
+        while getattr(node, "last", None) is not None:
+            last = node.last
+            modes = [solver.mode for solver, _, _ in last._solvers.values()]
+            levels.append(
+                {
+                    "arity": node.k,
+                    "radius": last.r,
+                    "cover_bags": last.cover.num_bags,
+                    "cover_degree": last.cover.degree(),
+                    "max_bag_size": max(
+                        (len(bag) for bag in last.cover.bags), default=0
+                    ),
+                    "bag_solvers_built": len(last._solvers),
+                    "bag_solver_modes": sorted(set(modes)),
+                    "far_structures": len(last._far_structures_cache),
+                }
+            )
+            node = getattr(node, "_prefix", None)
+            if not hasattr(node, "last"):
+                break
+        out["levels"] = levels
+        return out
+
+
+def build_index(
+    graph: ColoredGraph,
+    query: Formula | str,
+    free_order: Sequence[Var | str] | None = None,
+    method: str = "auto",
+    config: EngineConfig = DEFAULT_CONFIG,
+) -> QueryIndex:
+    """Preprocess ``graph`` for ``query`` (Theorem 2.3's preprocessing).
+
+    Parameters
+    ----------
+    graph:
+        A colored graph (see :class:`~repro.graphs.colored_graph.ColoredGraph`).
+    query:
+        An FO+ formula or its textual form, e.g.
+        ``"dist(x, y) > 2 & Blue(y)"``.
+    free_order:
+        Coordinate order of output tuples; defaults to the free variables
+        sorted by name.
+    method:
+        ``"auto"`` (indexed with naive fallback), ``"indexed"`` (raise if
+        the query does not decompose) or ``"naive"``.
+
+    Examples
+    --------
+    >>> from repro.graphs import grid
+    >>> index = build_index(grid(8, 8), "exists z. E(x, z) & E(z, y)")
+    >>> index.test(next(index.enumerate()))
+    True
+    """
+    phi = parse_formula(query) if isinstance(query, str) else query
+    order = _resolve_order(phi, free_order)
+    if method not in ("auto", "indexed", "naive"):
+        raise ValueError(f"unknown method {method!r}")
+    start = time.perf_counter()
+    if method == "naive":
+        impl: object = NaiveIndex(graph, phi, order)
+        chosen = "naive"
+    else:
+        try:
+            impl = NextSolutionIndex(graph, phi, order, config)
+            chosen = "indexed"
+        except DecompositionError:
+            if method == "indexed":
+                raise
+            impl = NaiveIndex(graph, phi, order)
+            chosen = "naive"
+    elapsed = time.perf_counter() - start
+    return QueryIndex(graph, phi, order, chosen, elapsed, impl)
+
+
+def _resolve_order(
+    phi: Formula, free_order: Sequence[Var | str] | None
+) -> tuple[Var, ...]:
+    actual = free_variables(phi)
+    if free_order is None:
+        return tuple(sorted(actual, key=lambda v: v.name))
+    order = tuple(Var(v) if isinstance(v, str) else v for v in free_order)
+    if set(order) != set(actual) or len(order) != len(set(order)):
+        raise ValueError(
+            f"free_order {sorted(v.name for v in order)} does not match the "
+            f"query's free variables {sorted(v.name for v in actual)}"
+        )
+    return order

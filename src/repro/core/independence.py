@@ -1,0 +1,145 @@
+"""Evaluating (r, q)-independence sentences (Section 5.1.2).
+
+The Rank-Preserving Normal Form's global residue consists of Boolean
+combinations of sentences of the form::
+
+    ∃ z_1 ... z_k (  ⋀_{i<j} dist(z_i, z_j) > r'  ∧  ⋀_i ψ(z_i) )
+
+— "there exist k pairwise r'-scattered witnesses of ψ".  Naive
+evaluation is O(n^k); this module decides the sentence from the unary
+solution set ``U = ψ(G)``:
+
+* **greedy certificate** — repeatedly take the smallest remaining element
+  of ``U`` and delete its r'-ball: the picks are pairwise > r' apart by
+  construction, so reaching ``k`` picks proves the sentence (linear time,
+  and on sparse graphs it almost always settles the answer);
+* **exact backtracking** — when the greedy set is smaller than ``k``, a
+  DFS over ``U`` with ball pruning decides exactly.  ``U`` is first
+  shrunk to the greedy picks' ball closure, keeping the search small.
+
+:func:`match_independence_sentence` recognizes the syntactic pattern so
+:func:`repro.core.unary.model_check` can route such sentences here
+instead of falling back to the O(n^k) evaluator.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.neighborhoods import bounded_bfs
+from repro.logic.syntax import (
+    And,
+    DistAtom,
+    Exists,
+    Formula,
+    Not,
+    Var,
+)
+from repro.logic.transform import free_variables, substitute
+
+
+def has_scattered_witnesses(
+    graph: ColoredGraph,
+    targets: Collection[int],
+    count: int,
+    separation: int,
+) -> bool:
+    """Are there ``count`` elements of ``targets`` pairwise ``> separation`` apart?"""
+    if count <= 0:
+        return True
+    remaining = sorted(set(targets))
+    if len(remaining) < count:
+        return False
+    if separation <= 0:
+        return True  # distinct vertices are at distance > 0... of each other
+    # greedy certificate
+    picks = 0
+    alive = set(remaining)
+    for candidate in remaining:
+        if candidate not in alive:
+            continue
+        picks += 1
+        if picks >= count:
+            return True
+        alive -= set(bounded_bfs(graph, [candidate], separation))
+    # exact backtracking on the (small) residual instance
+    return _backtrack(graph, sorted(set(targets)), count, separation, 0, set())
+
+
+def _backtrack(
+    graph: ColoredGraph,
+    targets: list[int],
+    count: int,
+    separation: int,
+    start: int,
+    blocked: set[int],
+) -> bool:
+    if count == 0:
+        return True
+    for index in range(start, len(targets)):
+        candidate = targets[index]
+        if candidate in blocked:
+            continue
+        if len(targets) - index < count:  # not enough candidates left
+            return False
+        ball = set(bounded_bfs(graph, [candidate], separation))
+        if _backtrack(
+            graph, targets, count - 1, separation, index + 1, blocked | ball
+        ):
+            return True
+    return False
+
+
+def match_independence_sentence(
+    sentence: Formula,
+) -> tuple[int, int, Formula, Var] | None:
+    """Recognize ``∃ z_1..z_k ( pairwise dist > r' ∧ ⋀ ψ(z_i) )``.
+
+    Returns ``(count, separation, psi, psi_var)`` — with every ``ψ(z_i)``
+    the same formula up to the variable — or None when the sentence has a
+    different shape.  ``k = 1`` (no distance atoms) is matched too.
+    """
+    variables: list[Var] = []
+    body = sentence
+    while isinstance(body, Exists):
+        variables.append(body.var)
+        body = body.body
+    if not variables:
+        return None
+    k = len(variables)
+    parts = body.parts if isinstance(body, And) else (body,)
+    needed_pairs = {frozenset((u, v)) for i, u in enumerate(variables) for v in variables[i + 1:]}
+    separations: set[int] = set()
+    witness_parts: dict[Var, list[Formula]] = {v: [] for v in variables}
+    for part in parts:
+        if (
+            isinstance(part, Not)
+            and isinstance(part.body, DistAtom)
+            and frozenset((part.body.left, part.body.right)) in needed_pairs
+        ):
+            separations.add(part.body.bound)
+            needed_pairs.discard(frozenset((part.body.left, part.body.right)))
+            continue
+        free = free_variables(part)
+        owners = [v for v in variables if v in free]
+        if len(owners) != 1 or (free - set(owners)):
+            return None  # a conjunct straddles witnesses or mentions others
+        witness_parts[owners[0]].append(part)
+    if needed_pairs or len(separations) > 1:
+        return None  # not all pairs separated, or mixed radii
+    separation = separations.pop() if separations else 0
+    if k > 1 and separation == 0:
+        return None
+    # all witnesses must carry the same formula, up to renaming
+    canonical = Var("@w")
+    shapes = {
+        v: And(tuple(substitute(p, {v: canonical}) for p in witness_parts[v]))
+        if len(witness_parts[v]) != 1
+        else substitute(witness_parts[v][0], {v: canonical})
+        for v in variables
+    }
+    distinct = set(shapes.values())
+    if len(distinct) != 1:
+        return None
+    return k, separation, distinct.pop(), canonical

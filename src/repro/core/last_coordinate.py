@@ -1,0 +1,336 @@
+"""The Lemma 5.2 index: constant-time smallest-last-coordinate queries.
+
+Given a k-ary FO+ query ``phi(x_1..x_k)``, after pseudo-linear
+preprocessing we answer: *for a prefix ``ā`` and a bound ``b``, what is
+the smallest ``b' >= b`` with ``G |= phi(ā, b')``?*
+
+Preprocessing (Section 5.2.1's Steps, adapted per DESIGN.md):
+
+* Step 2 — a :class:`DistanceIndex` at the decomposition radius ``r``
+  gives constant-time distance-type tests for prefixes;
+* Step 3 — a ``(kr, 2kr)``-neighborhood cover with per-bag ``r``-kernels
+  (stored as a ``@K`` color on each bag's subgraph);
+* Steps 8-11 — one :class:`BagSolver` per bag (lazy), which internally
+  performs the splitter-removal recursion;
+* Steps 12-13 — for every alternative whose last-variable component is a
+  singleton: the unary solution list ``L`` (bag-local evaluation per
+  vertex) and the Lemma 5.8 :class:`SkipPointers` over the kernels.
+
+Answering (Section 5.2.2): for each distance type ``tau`` consistent
+with the prefix and each alternative: check the global sentence, test the
+components not containing ``x_k`` inside their canonical bags, then
+
+* **Case II** (``x_k`` close to some prefix position ``j*``): search the
+  kernel of ``X(a_{j*})`` with the bag query
+  ``psi_J ∧ @K(x_k) ∧ ρ_tau-constraints ∧ far-from-in-bag-strangers``;
+* **Case I** (``x_k`` far from the whole prefix): 2k'+1 candidates — one
+  kernel search per distinct prefix bag (the Splitter vertex is handled
+  inside the bag solver), plus one ``SKIP`` query for solutions outside
+  every kernel.
+
+The final answer is the minimum over all candidates, as in the paper.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.core.bag_solver import BagSolver
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+from repro.core.distance_index import DistanceIndex
+from repro.core.distance_types import DistanceType, type_of
+from repro.core.normal_form import Alternative, Decomposition, decompose
+from repro.core.skip_pointers import SkipPointers
+from repro.core.unary import model_check
+from repro.covers.kernels import kernel_of_bag
+from repro.covers.neighborhood_cover import build_cover
+from repro.graphs.colored_graph import ColoredGraph
+from repro.logic.syntax import (
+    ColorAtom,
+    DistAtom,
+    Formula,
+    Not,
+    Top,
+    Var,
+    conjunction,
+)
+
+#: Color marking the r-kernel inside each bag's subgraph.
+KERNEL_COLOR = "@K"
+
+
+class LastCoordinateIndex:
+    """Lemma 5.2 for a fixed query; see the module docstring."""
+
+    def __init__(
+        self,
+        graph: ColoredGraph,
+        phi: Formula,
+        free_order: tuple[Var, ...],
+        config: EngineConfig = DEFAULT_CONFIG,
+        decomposition: Decomposition | None = None,
+    ) -> None:
+        self.graph = graph
+        self.phi = phi
+        self.free_order = tuple(free_order)
+        self.k = len(free_order)
+        if self.k < 2:
+            raise ValueError("LastCoordinateIndex needs arity >= 2")
+        self.config = config
+        self.decomp = decomposition or decompose(phi, self.free_order)
+        self.r = self.decomp.radius
+        # Step 2: distance oracle at the type scale
+        self.dist = DistanceIndex(
+            graph,
+            self.r,
+            eps=config.eps,
+            naive_threshold=config.dist_naive_threshold,
+            max_depth=config.dist_max_depth,
+        )
+        # Step 3: (kr, 2kr)-cover and r-kernels
+        self.cover = build_cover(graph, self.k * self.r, eps=config.eps)
+        self.kernels = [
+            kernel_of_bag(graph, bag, self.r) for bag in self.cover.bags
+        ]
+        self._solvers: dict[int, tuple[BagSolver, dict[int, int], list[int]]] = {}
+        self._sentence_cache: dict[Formula, bool] = {}
+        self._bag_query_cache: dict[tuple, tuple[Formula, tuple[Var, ...]]] = {}
+        # Steps 12-13: Case-I structures per distinct singleton-local psi
+        self._far_structures_cache: dict[Formula, tuple[list[int], SkipPointers]] = {}
+        if config.precompute_far:
+            last = self.k - 1
+            for tau, alternatives in self.decomp.per_type.items():
+                if tau.component_of(last) != frozenset((last,)):
+                    continue
+                for alt in alternatives:
+                    self._far_structures(alt.local_for(frozenset((last,))))
+
+    # ------------------------------------------------------------------
+    # lazy per-bag machinery
+    # ------------------------------------------------------------------
+    def _solver(self, bag_id: int) -> tuple[BagSolver, dict[int, int], list[int]]:
+        entry = self._solvers.get(bag_id)
+        if entry is None:
+            sub, original = self.graph.relabeled_subgraph(self.cover.bags[bag_id])
+            to_new = {v: i for i, v in enumerate(original)}
+            sub.set_color(
+                KERNEL_COLOR, [to_new[v] for v in self.kernels[bag_id]]
+            )
+            solver = BagSolver(
+                sub,
+                max_bound=self.r,
+                naive_threshold=self.config.bag_naive_threshold,
+                max_depth=self.config.bag_max_depth,
+            )
+            entry = (solver, to_new, original)
+            self._solvers[bag_id] = entry
+        return entry
+
+    def _sentence_true(self, sentence: Formula) -> bool:
+        if isinstance(sentence, Top):
+            return True
+        cached = self._sentence_cache.get(sentence)
+        if cached is None:
+            cached = model_check(self.graph, sentence, eps=self.config.eps)
+            self._sentence_cache[sentence] = cached
+        return cached
+
+    def _far_structures(self, psi: Formula) -> tuple[list[int], SkipPointers]:
+        """Step 12 (the list ``L``) and Step 13 (skip pointers) for one
+        singleton local formula ``psi(x_k)``."""
+        cached = self._far_structures_cache.get(psi)
+        if cached is None:
+            last_var = self.free_order[-1]
+            if isinstance(psi, Top):
+                targets = list(self.graph.vertices())
+            else:
+                # Step 12: per-bag unary solution lists L_X, one column per
+                # bag (not one evaluation per vertex), then their union
+                targets = []
+                for bag_id, assigned in enumerate(self.cover.assigned):
+                    if not assigned:
+                        continue
+                    solver, to_new, to_old = self._solver(bag_id)
+                    members = set(solver.column(psi, (), (), last_var))
+                    targets.extend(v for v in assigned if to_new[v] in members)
+                targets.sort()
+            skips = SkipPointers(
+                self.graph.n,
+                targets,
+                self.kernels,
+                k=max(self.k - 1, 1),
+                eps=self.config.eps,
+            )
+            cached = (targets, skips)
+            self._far_structures_cache[psi] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # bag queries (the paper's Ψ^i_{τ,J,p}, Step 7)
+    # ------------------------------------------------------------------
+    def _bag_query(
+        self, alt: Alternative, tau: DistanceType, component: frozenset[int], p: int
+    ) -> tuple[Formula, tuple[Var, ...]]:
+        """Build (and cache) the bag query and its prefix variable order.
+
+        The query is ``psi_J ∧ @K(x_k) ∧ [dist constraints from tau between
+        x_k and the J-prefix] ∧ [dist > r to p far in-bag strangers]``."""
+        key = (alt, tau, component, p)
+        cached = self._bag_query_cache.get(key)
+        if cached is not None:
+            return cached
+        last = self.k - 1
+        last_var = self.free_order[-1]
+        parts: list[Formula] = [alt.local_for(component), ColorAtom(KERNEL_COLOR, last_var)]
+        prefix_vars: list[Var] = []
+        for j in sorted(component - {last}):
+            var = self.free_order[j]
+            prefix_vars.append(var)
+            atom = DistAtom(var, last_var, self.r)
+            parts.append(atom if tau.has_edge(j, last) else Not(atom))
+        for index in range(p):
+            stranger = Var(f"@far{index}")
+            prefix_vars.append(stranger)
+            parts.append(Not(DistAtom(stranger, last_var, self.r)))
+        result = (conjunction(parts), tuple(prefix_vars))
+        self._bag_query_cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # answering phase (Section 5.2.2)
+    # ------------------------------------------------------------------
+    def first_last(self, prefix: tuple[int, ...], lower: int) -> int | None:
+        """Smallest ``b' >= lower`` with ``G |= phi(prefix, b')``; None if none."""
+        if len(prefix) != self.k - 1:
+            raise ValueError(
+                f"expected a {self.k - 1}-tuple prefix, got {prefix!r}"
+            )
+        if lower >= self.graph.n:
+            return None
+        lower = max(lower, 0)
+        prefix_type = type_of(prefix, self.dist.test)
+        last = self.k - 1
+        best: int | None = None
+        for tau, alternatives in self.decomp.per_type.items():
+            if not alternatives:
+                continue
+            if tau.restrict(frozenset(range(last))) != prefix_type:
+                continue
+            for alt in alternatives:
+                candidate = self._candidate(tau, alt, prefix, lower)
+                if candidate is not None and (best is None or candidate < best):
+                    best = candidate
+        return best
+
+    def test(self, values: tuple[int, ...]) -> bool:
+        """Corollary 2.4: is ``values`` a solution?  Constant time."""
+        if len(values) != self.k:
+            raise ValueError(f"expected a {self.k}-tuple, got {values!r}")
+        return self.first_last(values[:-1], values[-1]) == values[-1]
+
+    # -- per-(tau, alternative) candidate ---------------------------------
+    def _candidate(
+        self,
+        tau: DistanceType,
+        alt: Alternative,
+        prefix: tuple[int, ...],
+        lower: int,
+    ) -> int | None:
+        if not self._sentence_true(alt.sentence):
+            return None
+        last = self.k - 1
+        component_of_last = tau.component_of(last)
+        # items (b)/(d): components not containing x_k test directly
+        for positions, psi in alt.locals:
+            if last in positions or isinstance(psi, Top):
+                continue
+            if not self._test_component(positions, psi, prefix):
+                return None
+        if component_of_last == frozenset((last,)):
+            return self._case_far(tau, alt, prefix, lower)
+        return self._case_near(tau, alt, component_of_last, prefix, lower)
+
+    def _test_component(
+        self, positions: frozenset[int], psi: Formula, prefix: tuple[int, ...]
+    ) -> bool:
+        anchor = prefix[min(positions)]
+        bag_id = self.cover.bag_of(anchor)
+        solver, to_new, _ = self._solver(bag_id)
+        variables = tuple(self.free_order[i] for i in sorted(positions))
+        try:
+            values = tuple(to_new[prefix[i]] for i in sorted(positions))
+        except KeyError:
+            # a component member escaped the bag: impossible for a prefix of
+            # this distance type, so the alternative cannot match
+            return False
+        return solver.test(psi, variables, values)
+
+    def _case_near(
+        self,
+        tau: DistanceType,
+        alt: Alternative,
+        component: frozenset[int],
+        prefix: tuple[int, ...],
+        lower: int,
+    ) -> int | None:
+        """Case II: ``x_k`` close to the prefix part of its component."""
+        last = self.k - 1
+        j_star = min(j for j in component if j != last and tau.has_edge(j, last))
+        bag_id = self.cover.bag_of(prefix[j_star])
+        solver, to_new, to_old = self._solver(bag_id)
+        strangers = [
+            prefix[i]
+            for i in range(last)
+            if i not in component and self.cover.contains(bag_id, prefix[i])
+        ]
+        query, prefix_vars = self._bag_query(alt, tau, component, len(strangers))
+        try:
+            close_values = [to_new[prefix[j]] for j in sorted(component - {last})]
+        except KeyError:
+            return None  # a J-member escaped the bag: no solution of this type
+        values = tuple(close_values) + tuple(to_new[v] for v in strangers)
+        local_lower = bisect_left(to_old, lower)
+        if local_lower >= len(to_old):
+            return None
+        last_var = self.free_order[-1]
+        found = solver.first_at_least(query, prefix_vars, values, last_var, local_lower)
+        return None if found is None else to_old[found]
+
+    def _case_far(
+        self,
+        tau: DistanceType,
+        alt: Alternative,
+        prefix: tuple[int, ...],
+        lower: int,
+    ) -> int | None:
+        """Case I: ``x_k`` far from every prefix position."""
+        last = self.k - 1
+        psi = alt.local_for(frozenset((last,)))
+        _, skips = self._far_structures(psi)
+        bag_ids = sorted({self.cover.bag_of(a) for a in prefix})
+        last_var = self.free_order[-1]
+        best: int | None = None
+        for bag_id in bag_ids:
+            solver, to_new, to_old = self._solver(bag_id)
+            strangers = [a for a in prefix if self.cover.contains(bag_id, a)]
+            query, prefix_vars = self._bag_query(
+                alt, tau, frozenset((last,)), len(strangers)
+            )
+            local_lower = bisect_left(to_old, lower)
+            if local_lower >= len(to_old):
+                continue
+            found = solver.first_at_least(
+                query,
+                prefix_vars,
+                tuple(to_new[v] for v in strangers),
+                last_var,
+                local_lower,
+            )
+            if found is not None:
+                candidate = to_old[found]
+                if best is None or candidate < best:
+                    best = candidate
+        outside = skips.skip(lower, bag_ids)
+        if outside is not None and (best is None or outside < best):
+            best = outside
+        return best

@@ -1,0 +1,126 @@
+"""Memoized bag-local evaluation.
+
+Inside a bag (a small induced subgraph), the engine needs to (a) test
+local formulas on given tuples and (b) find the smallest last coordinate
+satisfying a local formula for a fixed prefix.  Bags are pseudo-constant
+sized on sparse inputs, so a memoized naive evaluator meets the paper's
+"naive algorithm for small graphs" role (Step 1 of every preprocessing
+phase).
+
+Two layers of memoization keep repeated answering-phase queries cheap:
+
+* a :class:`~repro.logic.semantics.DistanceCache` shares the BFS behind
+  every distance atom across all evaluations on the bag;
+* conjunction columns are *split*: the subformula mentioning only the
+  searched variable is materialized once per bag (prefix-independent),
+  and the per-prefix residue — typically the ``ρ_tau`` distance
+  constraints of the bag query Ψ — is filtered per candidate via the
+  cached balls.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.logic.semantics import DistanceCache, evaluate
+from repro.logic.syntax import And, Formula, Top, Var, conjunction
+from repro.logic.transform import free_variables
+
+
+class LocalEvaluator:
+    """Naive-but-memoized FO+ evaluation on one (small) graph."""
+
+    __slots__ = ("graph", "_dist", "_test_cache", "_column_cache", "_unary_cache", "_free_cache")
+
+    def __init__(self, graph: ColoredGraph) -> None:
+        self.graph = graph
+        self._dist = DistanceCache(graph)
+        self._test_cache: dict[tuple, bool] = {}
+        self._column_cache: dict[tuple, list[int]] = {}
+        self._unary_cache: dict[tuple, list[int]] = {}
+        self._free_cache: dict[Formula, frozenset[Var]] = {}
+
+    def _free(self, phi: Formula) -> frozenset[Var]:
+        cached = self._free_cache.get(phi)
+        if cached is None:
+            cached = free_variables(phi)
+            self._free_cache[phi] = cached
+        return cached
+
+    def test(self, phi: Formula, free_order: tuple[Var, ...], values: tuple[int, ...]) -> bool:
+        """``graph |= phi(values)`` with memoization."""
+        key = (phi, free_order, values)
+        cached = self._test_cache.get(key)
+        if cached is None:
+            cached = evaluate(self.graph, phi, dict(zip(free_order, values)), self._dist)
+            self._test_cache[key] = cached
+        return cached
+
+    def unary_column(self, phi: Formula, var: Var) -> list[int]:
+        """All ``b`` with ``graph |= phi(b)`` — cached per formula.
+
+        This is the prefix-independent part of bag queries; computing it
+        once per bag is what makes repeated answering-phase searches
+        constant time.
+        """
+        key = (phi, var)
+        cached = self._unary_cache.get(key)
+        if cached is None:
+            if isinstance(phi, Top):
+                cached = list(self.graph.vertices())
+            else:
+                assignment: dict[Var, int] = {}
+                cached = []
+                for b in self.graph.vertices():
+                    assignment[var] = b
+                    if evaluate(self.graph, phi, assignment, self._dist):
+                        cached.append(b)
+            self._unary_cache[key] = cached
+        return cached
+
+    def column(
+        self,
+        phi: Formula,
+        prefix_order: tuple[Var, ...],
+        prefix_values: tuple[int, ...],
+        last_var: Var,
+    ) -> list[int]:
+        """All ``b`` with ``graph |= phi(prefix_values, b)``, sorted.
+
+        Conjunctions are split into a cached unary core and a per-prefix
+        residue; other shapes fall back to a full scan (still memoized
+        per prefix).
+        """
+        key = (phi, prefix_order, prefix_values, last_var)
+        cached = self._column_cache.get(key)
+        if cached is not None:
+            return cached
+        parts = phi.parts if isinstance(phi, And) else (phi,)
+        unary_parts = [p for p in parts if self._free(p) <= {last_var}]
+        residue = [p for p in parts if not (self._free(p) <= {last_var})]
+        base = self.unary_column(conjunction(unary_parts), last_var)
+        if residue:
+            assignment = dict(zip(prefix_order, prefix_values))
+            out = []
+            for b in base:
+                assignment[last_var] = b
+                if all(evaluate(self.graph, p, assignment, self._dist) for p in residue):
+                    out.append(b)
+        else:
+            out = list(base)
+        self._column_cache[key] = out
+        return out
+
+    def first_at_least(
+        self,
+        phi: Formula,
+        prefix_order: tuple[Var, ...],
+        prefix_values: tuple[int, ...],
+        last_var: Var,
+        lower: int,
+    ) -> int | None:
+        """Smallest ``b >= lower`` with ``graph |= phi(prefix_values, b)``."""
+        col = self.column(phi, prefix_order, prefix_values, last_var)
+        index = bisect_left(col, lower)
+        return col[index] if index < len(col) else None

@@ -1,0 +1,619 @@
+"""Distance-type decomposition — the practical stand-in for the
+Rank-Preserving Normal Form (Theorem 5.4, from [18]).
+
+The paper's normal form rewrites any FO+ query ``phi(x̄)`` so that, per
+distance type ``tau``, satisfaction is decided by (i) a global sentence
+``xi`` and (ii) *local* formulas ``psi_{tau,I}`` evaluated inside a bag
+covering each connected component ``I`` of ``tau``.  The model-theoretic
+construction is not effectively implementable; we reproduce its
+*interface* syntactically (see DESIGN.md, substitution table):
+
+1. normalize ``phi`` (NNF, standardized variables, quantifiers pushed
+   through ∨/∧ and miniscoped);
+2. anchor every quantified variable through its *guard*: each ∃ needs a
+   positive distance-chain atom to an already-anchored variable, each ∀ a
+   negated one (:func:`locality_radius` certifies the resulting radius);
+3. pick the type scale ``r`` — the max of all certified radii, distance
+   bounds, and *cross requirements* (for any atom between variables
+   anchored at offsets ``o1, o2`` with bound ``d``, we need
+   ``o1 + o2 + d <= r`` so that under a "far" type the atom is certifiably
+   false);
+4. for each distance type ``tau``, *specialize* the formula: every atom
+   linking variables anchored in different components of ``tau`` is
+   replaced by ``false`` (components are ``> r`` apart), and the result is
+   simplified — this is where e.g. ``∀z (E(x,z) → dist(z,y) <= 2)`` under
+   a far type collapses to ``∀z ¬E(x,z)``;
+5. split the specialized formula into single-component blocks, put the
+   Boolean skeleton into DNF; each clause becomes one alternative ``i``
+   with per-component local formulas ``psi^i_{tau,I}`` and a global
+   sentence ``xi^i``.
+
+Queries outside this fragment raise :class:`DecompositionError`; the
+engine then falls back to the naive evaluator (and says so), mirroring
+the calibration note that a *prototype* of the paper's locality indexing
+is what is achievable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.distance_types import DistanceType, all_types
+from repro.logic.guards import deep_counterexample_guard, deep_guard
+from repro.logic.ranks import max_distance_bound
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    ColorAtom,
+    DistAtom,
+    EdgeAtom,
+    EqAtom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Top,
+    Var,
+    conjunction,
+    disjunction,
+)
+from repro.logic.transform import (
+    free_variables,
+    negation_normal_form,
+    standardize_apart,
+)
+
+#: Upper bound on DNF clauses over blocks (guards pathological inputs).
+MAX_DNF_CLAUSES = 512
+
+
+class DecompositionError(ValueError):
+    """The query is outside the syntactically decomposable fragment."""
+
+
+# ---------------------------------------------------------------------------
+# normalization helpers
+# ---------------------------------------------------------------------------
+
+
+def push_quantifiers(phi: Formula) -> Formula:
+    """Distribute ∃ over ∨ and ∀ over ∧, miniscope conjuncts/disjuncts not
+    mentioning the bound variable, and drop vacuous quantifiers."""
+    if isinstance(phi, Not):
+        return Not(push_quantifiers(phi.body))
+    if isinstance(phi, And):
+        return And(tuple(push_quantifiers(p) for p in phi.parts))
+    if isinstance(phi, Or):
+        return Or(tuple(push_quantifiers(p) for p in phi.parts))
+    if isinstance(phi, Exists):
+        body = push_quantifiers(phi.body)
+        if phi.var not in free_variables(body):
+            return body
+        if isinstance(body, Or):
+            return Or(tuple(push_quantifiers(Exists(phi.var, p)) for p in body.parts))
+        if isinstance(body, And):
+            inside = [p for p in body.parts if phi.var in free_variables(p)]
+            outside = [p for p in body.parts if phi.var not in free_variables(p)]
+            if outside:
+                kept = push_quantifiers(Exists(phi.var, conjunction(inside)))
+                return And((kept, *outside))
+        return Exists(phi.var, body)
+    if isinstance(phi, Forall):
+        body = push_quantifiers(phi.body)
+        if phi.var not in free_variables(body):
+            return body
+        if isinstance(body, And):
+            return And(tuple(push_quantifiers(Forall(phi.var, p)) for p in body.parts))
+        if isinstance(body, Or):
+            inside = [p for p in body.parts if phi.var in free_variables(p)]
+            outside = [p for p in body.parts if phi.var not in free_variables(p)]
+            if outside:
+                kept = push_quantifiers(Forall(phi.var, disjunction(inside)))
+                return Or((kept, *outside))
+        return Forall(phi.var, body)
+    return phi
+
+
+def normalize(phi: Formula) -> Formula:
+    """NNF + standardized bound variables + pushed quantifiers."""
+    return push_quantifiers(standardize_apart(negation_normal_form(phi)))
+
+
+def simplify(phi: Formula) -> Formula:
+    """Propagate boolean constants and drop vacuous quantifiers."""
+    if isinstance(phi, Not):
+        body = simplify(phi.body)
+        if isinstance(body, Top):
+            return Bottom()
+        if isinstance(body, Bottom):
+            return Top()
+        return Not(body)
+    if isinstance(phi, And):
+        parts = []
+        for part in phi.parts:
+            part = simplify(part)
+            if isinstance(part, Bottom):
+                return Bottom()
+            if not isinstance(part, Top):
+                parts.append(part)
+        return conjunction(parts)
+    if isinstance(phi, Or):
+        parts = []
+        for part in phi.parts:
+            part = simplify(part)
+            if isinstance(part, Top):
+                return Top()
+            if not isinstance(part, Bottom):
+                parts.append(part)
+        return disjunction(parts)
+    if isinstance(phi, Exists):
+        body = simplify(phi.body)
+        if isinstance(body, Bottom):
+            return Bottom()
+        if phi.var not in free_variables(body):
+            # over a non-empty domain, ∃z body = body when z is unused
+            return body
+        return Exists(phi.var, body)
+    if isinstance(phi, Forall):
+        body = simplify(phi.body)
+        if isinstance(body, Top):
+            return Top()
+        if phi.var not in free_variables(body):
+            return body
+        return Forall(phi.var, body)
+    return phi
+
+
+# ---------------------------------------------------------------------------
+# guard / locality analysis
+# ---------------------------------------------------------------------------
+
+
+def _guard_bound(atom: Formula, var: Var, env, positive: bool) -> int | None:
+    """If ``atom`` (with the given polarity) ties ``var`` to an anchored
+    variable, return the implied offset bound; else None."""
+    if not positive:
+        if isinstance(atom, Not):
+            return _guard_bound(atom.body, var, env, positive=True)
+        return None
+    if isinstance(atom, (EdgeAtom, DistAtom, EqAtom)):
+        if atom.left == var:
+            other = atom.right
+        elif atom.right == var:
+            other = atom.left
+        else:
+            return None
+        if other == var or other not in env:
+            return None
+        bound = 1 if isinstance(atom, EdgeAtom) else (
+            atom.bound if isinstance(atom, DistAtom) else 0
+        )
+        offset = env[other] if isinstance(env[other], int) else env[other][1]
+        return offset + bound
+    return None
+
+
+def locality_radius(phi: Formula, anchors: frozenset[Var]) -> int | None:
+    """A radius ``rho`` such that ``phi(ā)`` has the same value on ``G``
+    and on any induced subgraph containing ``N_rho(ā)`` — or None when the
+    guard analysis cannot certify one.
+
+    ``phi`` must be normalized.  Every existential needs a positive guard
+    atom in its conjunction; every universal a negated guard atom in its
+    disjunction (vertices violating the guard satisfy that disjunct).
+    """
+
+    def walk(node: Formula, env: dict[Var, int]) -> int | None:
+        if isinstance(node, (Top, Bottom)):
+            return 0
+        if isinstance(node, ColorAtom):
+            return env.get(node.var)
+        if isinstance(node, EqAtom):
+            left, right = env.get(node.left), env.get(node.right)
+            if left is None or right is None:
+                return None
+            return max(left, right)
+        if isinstance(node, (EdgeAtom, DistAtom)):
+            left, right = env.get(node.left), env.get(node.right)
+            if left is None or right is None:
+                return None
+            bound = node.bound if isinstance(node, DistAtom) else 1
+            return max(left, right, min(left, right) + bound)
+        if isinstance(node, Not):
+            return walk(node.body, env)
+        if isinstance(node, (And, Or)):
+            radii = [walk(p, env) for p in node.parts]
+            if any(rho is None for rho in radii):
+                return None
+            return max(radii, default=0)
+        if isinstance(node, Exists):
+            guard = deep_guard(node.body, node.var, env)
+            if guard is None:
+                return None
+            inner_env = dict(env)
+            inner_env[node.var] = guard[1]
+            return walk(node.body, inner_env)
+        if isinstance(node, Forall):
+            guard = deep_counterexample_guard(node.body, node.var, env)
+            if guard is None:
+                return None
+            inner_env = dict(env)
+            inner_env[node.var] = guard[1]
+            return walk(node.body, inner_env)
+        raise TypeError(f"unknown formula node: {node!r}")
+
+    return walk(phi, {v: 0 for v in anchors})
+
+
+def cross_requirement(phi: Formula, anchors: frozenset[Var]) -> int:
+    """The largest ``offset(u) + offset(v) + bound`` over atoms of ``phi``.
+
+    Choosing the type scale at least this large guarantees that every atom
+    between variables anchored in *different* components is certifiably
+    false under the type (components are ``> r`` apart).  Unguarded
+    variables contribute nothing (their blocks fail the locality check
+    anyway).
+    """
+    worst = 0
+
+    def walk(node: Formula, env: dict[Var, int]) -> None:
+        nonlocal worst
+        if isinstance(node, (EdgeAtom, DistAtom, EqAtom)):
+            left, right = env.get(node.left), env.get(node.right)
+            if left is not None and right is not None:
+                bound = 1 if isinstance(node, EdgeAtom) else (
+                    node.bound if isinstance(node, DistAtom) else 0
+                )
+                worst = max(worst, left + right + bound)
+            return
+        if isinstance(node, Not):
+            walk(node.body, env)
+            return
+        if isinstance(node, (And, Or)):
+            for part in node.parts:
+                walk(part, env)
+            return
+        if isinstance(node, Exists):
+            guard = deep_guard(node.body, node.var, env)
+            inner_env = dict(env)
+            if guard is not None:
+                inner_env[node.var] = guard[1]
+            walk(node.body, inner_env)
+            return
+        if isinstance(node, Forall):
+            guard = deep_counterexample_guard(node.body, node.var, env)
+            inner_env = dict(env)
+            if guard is not None:
+                inner_env[node.var] = guard[1]
+            walk(node.body, inner_env)
+            return
+
+    walk(phi, {v: 0 for v in anchors})
+    return worst
+
+
+# ---------------------------------------------------------------------------
+# per-type specialization
+# ---------------------------------------------------------------------------
+
+
+def specialize_for_type(
+    phi: Formula,
+    component_of: dict[Var, int],
+    radius: int,
+    tau_edge=None,
+) -> Formula:
+    """Resolve atoms across components, assuming components are > radius
+    apart, then simplify.
+
+    ``component_of`` maps each *free* variable to its component id under
+    the current distance type.  Quantified variables inherit the component
+    of their cheapest guard; atoms between variables of different
+    components are replaced by ``false`` when the anchoring offsets
+    certify the contradiction, and the caller guarantees (via
+    :func:`cross_requirement`) that they always do.
+    """
+
+    def resolve_atom(node, env) -> Formula:
+        left = env.get(node.left)
+        right = env.get(node.right)
+        if left is None or right is None:
+            return node  # an unanchored side: leave untouched
+        (comp_l, off_l), (comp_r, off_r) = left, right
+        bound = 1 if isinstance(node, EdgeAtom) else (
+            node.bound if isinstance(node, DistAtom) else 0
+        )
+        both_free = (
+            tau_edge is not None
+            and off_l == 0
+            and off_r == 0
+            and node.left in component_of
+            and node.right in component_of
+        )
+        if both_free and node.left != node.right:
+            # the type pins the pair exactly at scale `radius`
+            if not tau_edge(node.left, node.right):
+                return Bottom()  # dist > radius >= bound
+            if isinstance(node, DistAtom) and node.bound >= radius:
+                return Top()  # dist <= radius <= bound
+            return node
+        if comp_l == comp_r:
+            return node
+        if off_l + off_r + bound <= radius:
+            return Bottom()
+        raise DecompositionError(
+            f"atom {node!r} crosses components but is not certifiably false "
+            f"(offsets {off_l}+{off_r}+{bound} > type scale {radius})"
+        )
+
+    def walk(node: Formula, env: dict[Var, tuple[int, int]]) -> Formula:
+        if isinstance(node, (Top, Bottom, ColorAtom)):
+            return node
+        if isinstance(node, (EdgeAtom, DistAtom, EqAtom)):
+            return resolve_atom(node, env)
+        if isinstance(node, Not):
+            return Not(walk(node.body, env))
+        if isinstance(node, And):
+            return And(tuple(walk(p, env) for p in node.parts))
+        if isinstance(node, Or):
+            return Or(tuple(walk(p, env) for p in node.parts))
+        if isinstance(node, (Exists, Forall)):
+            positive = isinstance(node, Exists)
+            best: tuple[int, int] | None = None  # (component, offset)
+            if positive:
+                anchored = {v: off for v, (_, off) in env.items()}
+                guard = deep_guard(node.body, node.var, anchored)
+                if guard is not None:
+                    best = (env[guard[0]][0], guard[1])
+            else:
+                anchored = {v: off for v, (_, off) in env.items()}
+                guard = deep_counterexample_guard(node.body, node.var, anchored)
+                if guard is not None:
+                    best = (env[guard[0]][0], guard[1])
+            inner_env = dict(env)
+            if best is not None:
+                inner_env[node.var] = best
+            else:
+                inner_env.pop(node.var, None)
+            body = walk(node.body, inner_env)
+            return Exists(node.var, body) if positive else Forall(node.var, body)
+        raise TypeError(f"unknown formula node: {node!r}")
+
+    env0 = {var: (component, 0) for var, component in component_of.items()}
+    return simplify(walk(phi, env0))
+
+
+# ---------------------------------------------------------------------------
+# blocks and the boolean skeleton
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Block:
+    """A skeleton leaf: an atom or quantified subformula with its anchors."""
+
+    formula: Formula
+    anchors: frozenset[Var]
+    radius: int  # certified locality radius around the anchors
+
+
+def _split_blocks(phi: Formula, free_vars: frozenset[Var]):
+    """Return (skeleton, blocks): the Boolean structure of ``phi`` over
+    locality-certified leaf blocks."""
+    blocks: dict[int, Block] = {}
+    index: dict[Formula, int] = {}
+
+    def leaf(node: Formula, polarity: bool):
+        anchors = free_variables(node) & free_vars
+        if not anchors:
+            # a closed block is a sentence (the paper's ξ): evaluated
+            # globally by model_check, no locality certificate needed
+            rho: int | None = 0
+        else:
+            rho = locality_radius(node, anchors)
+        if rho is None:
+            raise DecompositionError(f"subformula is not certifiably local: {node!r}")
+        block_id = index.get(node)
+        if block_id is None:
+            block_id = len(blocks)
+            index[node] = block_id
+            blocks[block_id] = Block(node, anchors, rho)
+        return ("lit", block_id, polarity)
+
+    def walk(node: Formula, polarity: bool):
+        if isinstance(node, Not):
+            return walk(node.body, not polarity)
+        if isinstance(node, And):
+            tag = "and" if polarity else "or"
+            return (tag, tuple(walk(p, polarity) for p in node.parts))
+        if isinstance(node, Or):
+            tag = "or" if polarity else "and"
+            return (tag, tuple(walk(p, polarity) for p in node.parts))
+        if isinstance(node, Top):
+            return ("const", polarity)
+        if isinstance(node, Bottom):
+            return ("const", not polarity)
+        return leaf(node, polarity)
+
+    return walk(phi, True), blocks
+
+
+def _dnf(skeleton) -> list[dict[int, bool]]:
+    """DNF clauses over block literals; each maps block id -> polarity."""
+    tag = skeleton[0]
+    if tag == "const":
+        return [{}] if skeleton[1] else []
+    if tag == "lit":
+        return [{skeleton[1]: skeleton[2]}]
+    if tag == "or":
+        clauses: list[dict[int, bool]] = []
+        for part in skeleton[1]:
+            clauses.extend(_dnf(part))
+            if len(clauses) > MAX_DNF_CLAUSES:
+                raise DecompositionError("query's DNF over blocks is too large")
+        return clauses
+    if tag == "and":
+        clauses = [{}]
+        for part in skeleton[1]:
+            new_clauses = []
+            for left in clauses:
+                for right in _dnf(part):
+                    merged = dict(left)
+                    consistent = True
+                    for block_id, polarity in right.items():
+                        if merged.get(block_id, polarity) != polarity:
+                            consistent = False
+                            break
+                        merged[block_id] = polarity
+                    if consistent:
+                        new_clauses.append(merged)
+            clauses = new_clauses
+            if len(clauses) > MAX_DNF_CLAUSES:
+                raise DecompositionError("query's DNF over blocks is too large")
+        return clauses
+    raise AssertionError(f"bad skeleton tag {tag}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# the decomposition proper
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Alternative:
+    """One alternative ``i`` for a distance type: per-component local
+    formulas plus a global sentence (the paper's ``psi^i_{tau,I}`` and
+    ``xi^i_tau``)."""
+
+    locals: tuple[tuple[frozenset[int], Formula], ...]  # (positions, psi)
+    sentence: Formula
+
+    def local_for(self, component: frozenset[int]) -> Formula:
+        """``psi^i_{tau,I}`` for the given component (Top when absent)."""
+        for positions, psi in self.locals:
+            if positions == component:
+                return psi
+        return Top()
+
+
+@dataclass
+class Decomposition:
+    """The engine-facing decomposition of a query (Theorem 5.4 interface)."""
+
+    free_order: tuple[Var, ...]
+    radius: int
+    per_type: dict[DistanceType, tuple[Alternative, ...]]
+
+    @property
+    def arity(self) -> int:
+        """Number of free variables of the decomposed query."""
+        return len(self.free_order)
+
+
+def decompose(phi: Formula, free_order: tuple[Var, ...]) -> Decomposition:
+    """Decompose ``phi`` by distance types (the Theorem 5.4 stand-in).
+
+    Raises :class:`DecompositionError` when ``phi`` falls outside the
+    supported fragment (the engine then answers naively instead).
+    """
+    free_vars = frozenset(free_order)
+    phi0 = normalize(phi)
+    # certify locality of every block of the *unspecialized* formula; this
+    # also determines the base radius
+    _, base_blocks = _split_blocks(phi0, free_vars)
+    radius = max(
+        [1, max_distance_bound(phi0), cross_requirement(phi0, free_vars)]
+        + [b.radius for b in base_blocks.values()]
+    )
+    position = {var: i for i, var in enumerate(free_order)}
+    per_type: dict[DistanceType, tuple[Alternative, ...]] = {}
+    for tau in all_types(len(free_order)):
+        components = tau.components()
+        component_id = {}
+        for cid, members in enumerate(components):
+            for pos in members:
+                component_id[free_order[pos]] = cid
+
+        def tau_edge(u: Var, v: Var, _tau=tau) -> bool:
+            return _tau.has_edge(position[u], position[v])
+
+        phi_tau = specialize_for_type(phi0, component_id, radius, tau_edge)
+        skeleton, blocks = _split_blocks(phi_tau, free_vars)
+        alternatives: list[Alternative] = []
+        for clause in _dnf(skeleton):
+            alternative = _clause_to_alternative(
+                clause, blocks, components, position
+            )
+            if alternative is not None and alternative not in alternatives:
+                alternatives.append(alternative)
+        per_type[tau] = tuple(alternatives)
+    return Decomposition(free_order, radius, per_type)
+
+
+def _clause_to_alternative(
+    clause: dict[int, bool],
+    blocks: dict[int, Block],
+    components: list[frozenset[int]],
+    position: dict[Var, int],
+) -> Alternative | None:
+    local_parts: dict[frozenset[int], list[Formula]] = {}
+    sentence_parts: list[Formula] = []
+    for block_id, polarity in sorted(clause.items()):
+        block = blocks[block_id]
+        literal = block.formula if polarity else Not(block.formula)
+        anchor_positions = {position[v] for v in block.anchors}
+        if not anchor_positions:
+            sentence_parts.append(literal)
+            continue
+        home = next(
+            (c for c in components if anchor_positions <= c), None
+        )
+        if home is None:
+            raise DecompositionError(
+                f"specialized block still crosses components: {block.formula!r}"
+            )
+        local_parts.setdefault(home, []).append(literal)
+    locals_tuple = tuple(
+        (component, conjunction(parts))
+        for component, parts in sorted(local_parts.items(), key=lambda kv: min(kv[0]))
+    )
+    return Alternative(locals_tuple, conjunction(sentence_parts))
+
+
+def relax_projection(decomposition: Decomposition) -> Decomposition:
+    """A decomposable weakening of ``∃x_k phi``'s projection.
+
+    Used by the arity >= 3 enumeration fallback: dropping, per
+    alternative, every local formula whose component contains the last
+    position yields a (k-1)-ary decomposition that (a) is *implied by*
+    extendability — an extendable prefix satisfies the witnessing
+    alternative's sentence and all its prefix-component locals — and (b)
+    stays inside the engine's fragment by construction.  Streaming its
+    solutions and filtering with the constant-time Lemma 5.2 extension
+    oracle enumerates the true projection (see
+    :class:`~repro.core.next_solution.RelaxedPrefixIndex`).
+    """
+    k = decomposition.arity
+    if k < 2:
+        raise ValueError("relax_projection needs arity >= 2")
+    last = k - 1
+    prefix_order = decomposition.free_order[:-1]
+    per_type: dict[DistanceType, list[Alternative]] = {}
+    for tau, alternatives in decomposition.per_type.items():
+        restricted = tau.restrict(frozenset(range(last)))
+        bucket = per_type.setdefault(restricted, [])
+        for alt in alternatives:
+            kept = tuple(
+                (positions, psi)
+                for positions, psi in alt.locals
+                if last not in positions
+            )
+            relaxed = Alternative(kept, alt.sentence)
+            if relaxed not in bucket:
+                bucket.append(relaxed)
+    return Decomposition(
+        prefix_order,
+        decomposition.radius,
+        {tau: tuple(alts) for tau, alts in per_type.items()},
+    )

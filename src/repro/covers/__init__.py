@@ -1,0 +1,13 @@
+"""Neighborhood covers and kernels (Definitions 4.3 / 5.6).
+
+The cover is the paper's central locality tool: instead of precomputing
+all ``r``-neighborhoods (too large), Theorem 4.4 selects a representative
+family of *bags* such that every vertex's ``r``-ball lies in some bag, and
+every bag lies in some ``2r``-ball.  Kernels (Lemma 5.7) refine bags to
+the vertices whose own ``p``-ball stays inside.
+"""
+
+from repro.covers.neighborhood_cover import NeighborhoodCover, build_cover
+from repro.covers.kernels import kernel_of_bag
+
+__all__ = ["NeighborhoodCover", "build_cover", "kernel_of_bag"]

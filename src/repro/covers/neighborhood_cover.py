@@ -1,0 +1,186 @@
+"""(r, 2r)-neighborhood covers (Definition 4.3, Theorem 4.4).
+
+Theorem 4.4 guarantees that nowhere dense classes admit (r, 2r)-covers of
+degree ``<= n^eps``, computable in pseudo-linear time.  We use the greedy
+ball construction (the same scheme underlying [17, Lemma 6.10]):
+
+* scan the vertices in a degeneracy order;
+* whenever a vertex ``c`` is not yet covered, emit the bag ``N_2r(c)``
+  with center ``c`` and declare every vertex of ``N_r(c)`` covered, with
+  canonical bag ``X(a) = X_c``.
+
+Properties (asserted by :meth:`NeighborhoodCover.check_properties`):
+
+* every ``a`` has ``N_r(a) ⊆ X(a)`` — because ``a ∈ N_r(c)`` implies
+  ``N_r(a) ⊆ N_2r(c)``;
+* every bag is inside ``N_2r(c_X)`` by construction;
+* centers are pairwise at distance ``> r``, which is what keeps the degree
+  small on sparse graphs.  The degree is *measured*, not assumed; it is
+  the quantity experiment E4 reports against the paper's ``n^eps`` bound.
+
+Bag membership, canonical-bag assignment and per-bag vertex lists are
+retrievable in constant time; ordered membership ("smallest member of bag
+X that is >= b") is served by a Theorem 3.1 :class:`StoredFunction` keyed
+``(bag, vertex)``, exactly the paper's ``f_X`` encoding (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.neighborhoods import bounded_bfs
+from repro.graphs.sparsity import degeneracy_order
+from repro.storage.function_store import StoredFunction
+
+
+class NeighborhoodCover:
+    """An (r, s)-neighborhood cover of a colored graph.
+
+    Built via :func:`build_cover`; not meant to be constructed directly.
+    """
+
+    def __init__(
+        self,
+        graph: ColoredGraph,
+        radius: int,
+        bag_radius: int,
+        bags: list[list[int]],
+        centers: list[int],
+        assignment: list[int],
+        eps: float,
+    ) -> None:
+        self.graph = graph
+        self.radius = radius
+        self.bag_radius = bag_radius
+        self.bags = bags  # bag id -> sorted vertex list
+        self.centers = centers  # bag id -> center c_X
+        self.assignment = assignment  # vertex -> canonical bag id X(a)
+        self.eps = eps
+        # per-bag list of b with X(b) = X (Step 3 of Section 5.2.1)
+        self.assigned: list[list[int]] = [[] for _ in bags]
+        for vertex, bag_id in enumerate(assignment):
+            self.assigned[bag_id].append(vertex)
+        # membership sets for O(1) "a in X" tests
+        self._member_sets = [set(bag) for bag in bags]
+        # ordered membership via the Storing Theorem (f_X of Section 4.1);
+        # built lazily: only consumers of ordered queries pay for it
+        self._membership_store: StoredFunction | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_bags(self) -> int:
+        """``|X|`` — the number of bags."""
+        return len(self.bags)
+
+    def bag_of(self, vertex: int) -> int:
+        """The canonical bag id ``X(a)`` (fixed arbitrarily, as in the paper)."""
+        return self.assignment[vertex]
+
+    def center(self, bag_id: int) -> int:
+        """``c_X``: a vertex with ``X ⊆ N_{2r}(c_X)``."""
+        return self.centers[bag_id]
+
+    def contains(self, bag_id: int, vertex: int) -> bool:
+        """Constant-time bag membership."""
+        return vertex in self._member_sets[bag_id]
+
+    @property
+    def _membership(self) -> StoredFunction:
+        if self._membership_store is None:
+            universe = max(self.graph.n, len(self.bags), 1)
+            store = StoredFunction(universe, 2, eps=self.eps)
+            for bag_id, bag in enumerate(self.bags):
+                for vertex in bag:
+                    store[(bag_id, vertex)] = True
+            self._membership_store = store
+        return self._membership_store
+
+    def next_member(self, bag_id: int, vertex: int, strict: bool = False) -> int | None:
+        """Smallest member of the bag that is ``>= vertex`` (``>`` if strict).
+
+        Constant time via the Storing Theorem structure, as promised after
+        Theorem 4.4 in the paper (the structure is built on first use).
+        """
+        key = self._membership.successor((bag_id, vertex), strict=strict)
+        if key is None or key[0] != bag_id:
+            return None
+        return key[1]
+
+    def degree(self) -> int:
+        """``δ(X)``: the maximum number of bags meeting at one vertex."""
+        counts = [0] * self.graph.n
+        for bag in self.bags:
+            for vertex in bag:
+                counts[vertex] += 1
+        return max(counts, default=0)
+
+    def total_bag_size(self) -> int:
+        """``Σ_X |X|`` — bounded by ``n^{1+eps}`` when the degree is ``n^eps``."""
+        return sum(len(bag) for bag in self.bags)
+
+    # ------------------------------------------------------------------
+    def check_properties(self) -> None:
+        """Verify Definition 4.3 (tests only; costs a BFS per vertex)."""
+        for a in self.graph.vertices():
+            bag = self._member_sets[self.assignment[a]]
+            ball = bounded_bfs(self.graph, [a], self.radius)
+            missing = set(ball) - bag
+            if missing:
+                raise AssertionError(
+                    f"N_{self.radius}({a}) not inside its bag; missing {sorted(missing)[:5]}"
+                )
+        for bag_id, bag in enumerate(self.bags):
+            ball = bounded_bfs(self.graph, [self.centers[bag_id]], self.bag_radius)
+            outside = set(bag) - set(ball)
+            if outside:
+                raise AssertionError(
+                    f"bag {bag_id} leaves N_{self.bag_radius}(center); extra {sorted(outside)[:5]}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"NeighborhoodCover(r={self.radius}, s={self.bag_radius}, "
+            f"bags={len(self.bags)}, degree={self.degree()})"
+        )
+
+
+def build_cover(
+    graph: ColoredGraph,
+    radius: int,
+    eps: float = 0.5,
+    order: Sequence[int] | None = None,
+) -> NeighborhoodCover:
+    """Build an (r, 2r)-neighborhood cover greedily (Theorem 4.4).
+
+    Parameters
+    ----------
+    graph:
+        The input colored graph.
+    radius:
+        The cover radius ``r``.
+    eps:
+        Storing-structure exponent for the membership index.
+    order:
+        Scan order for choosing centers; defaults to a degeneracy order,
+        which empirically keeps the degree small on sparse classes.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    n = graph.n
+    if order is None:
+        order = degeneracy_order(graph)
+    assignment = [-1] * n
+    bags: list[list[int]] = []
+    centers: list[int] = []
+    for c in order:
+        if assignment[c] != -1:
+            continue
+        bag_id = len(bags)
+        big_ball = bounded_bfs(graph, [c], 2 * radius)
+        bags.append(sorted(big_ball))
+        centers.append(c)
+        for a, dist in big_ball.items():
+            if dist <= radius and assignment[a] == -1:
+                assignment[a] = bag_id
+    return NeighborhoodCover(graph, radius, 2 * radius, bags, centers, assignment, eps)

@@ -1,0 +1,21 @@
+"""Relational databases and their reduction to colored graphs (Lemma 2.2).
+
+The paper's algorithms run on colored graphs; arbitrary relational
+structures reduce to them via the *colored adjacency graph* ``A'(D)``:
+one vertex per domain element, per tuple, and per (position, tuple) pair,
+with colors ``P_R`` (tuple of relation R) and ``C_i`` (position i).  An
+FO query over the schema rewrites (linearly in its size) to an FO query
+over ``A'(D)`` with the same answers.
+"""
+
+from repro.db.database import Database, Schema
+from repro.db.adjacency import AdjacencyEncoding, adjacency_graph
+from repro.db.rewrite import rewrite_query
+
+__all__ = [
+    "Database",
+    "Schema",
+    "AdjacencyEncoding",
+    "adjacency_graph",
+    "rewrite_query",
+]

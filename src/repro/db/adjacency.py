@@ -1,0 +1,83 @@
+"""The colored adjacency graph ``A'(D)`` (Section 2).
+
+``A(D)`` has a vertex per domain element and per stored tuple, with an
+``E_i`` edge between element ``a`` and tuple ``t`` when ``a`` is the
+``i``-th entry of ``t``.  ``A'(D)`` replaces each ``E_i`` edge by a path
+of length two through a fresh vertex of color ``C_i`` (the 1-subdivision
+trick) so that a single symmetric edge relation suffices.  Colors:
+
+* ``P_<R>`` on tuple vertices of relation ``R``;
+* ``C_<i>`` on position vertices (``i`` is 1-based, as in the paper);
+* ``Dom`` on domain-element vertices (convenience, so queries can
+  relativize quantifiers to the original domain).
+
+Vertex layout: domain elements keep ids ``0..n-1`` (so answer tuples over
+``A'(D)`` project straight back to the database, in the same order),
+followed by tuple vertices, followed by position vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.graphs.colored_graph import ColoredGraph
+
+#: Color carried by original domain elements.
+DOMAIN_COLOR = "Dom"
+
+
+def tuple_color(relation: str) -> str:
+    """The color ``P_R`` of tuple vertices."""
+    return f"P_{relation}"
+
+
+def position_color(i: int) -> str:
+    """The color ``C_i`` of position vertices (1-based)."""
+    return f"C_{i}"
+
+
+@dataclass
+class AdjacencyEncoding:
+    """``A'(D)`` together with the vertex bookkeeping.
+
+    Attributes
+    ----------
+    graph:
+        The colored graph ``A'(D)``.
+    domain_size:
+        ``|D|``; the first ``domain_size`` vertices are the database's
+        domain elements, in order.
+    tuple_vertex:
+        Maps ``(relation, tuple)`` to its tuple-vertex id.
+    """
+
+    graph: ColoredGraph
+    domain_size: int
+    tuple_vertex: dict[tuple[str, tuple[int, ...]], int]
+
+
+def adjacency_graph(db: Database) -> AdjacencyEncoding:
+    """Build ``A'(D)`` in time linear in ``||D||``."""
+    facts = list(db.all_tuples())
+    total_positions = sum(len(values) for _, values in facts)
+    n = db.domain_size + len(facts) + total_positions
+    graph = ColoredGraph(n)
+    graph.set_color(DOMAIN_COLOR, range(db.domain_size))
+    tuple_vertex: dict[tuple[str, tuple[int, ...]], int] = {}
+    colors: dict[str, list[int]] = {}
+    next_vertex = db.domain_size
+    for relation, values in facts:
+        t_vertex = next_vertex
+        next_vertex += 1
+        tuple_vertex[(relation, values)] = t_vertex
+        colors.setdefault(tuple_color(relation), []).append(t_vertex)
+        for i, element in enumerate(values, start=1):
+            p_vertex = next_vertex
+            next_vertex += 1
+            colors.setdefault(position_color(i), []).append(p_vertex)
+            graph.add_edge(element, p_vertex)
+            graph.add_edge(p_vertex, t_vertex)
+    for name, members in colors.items():
+        graph.set_color(name, members)
+    return AdjacencyEncoding(graph, db.domain_size, tuple_vertex)

@@ -1,0 +1,95 @@
+"""Finite relational structures (Section 2's "databases").
+
+A :class:`Database` is a finite structure over a :class:`Schema`: a
+domain ``0..n-1`` plus one set of tuples per relation symbol.  The class
+is deliberately small — the paper immediately reduces databases to
+colored graphs (see :mod:`repro.db.adjacency`), which is where all the
+algorithmics lives.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Relation symbols with arities, e.g. ``Schema({"Friend": 2})``."""
+
+    relations: Mapping[str, int]
+
+    def __post_init__(self) -> None:
+        for name, arity in self.relations.items():
+            if arity < 1:
+                raise ValueError(f"relation {name!r} must have arity >= 1, got {arity}")
+
+    @property
+    def max_arity(self) -> int:
+        """The largest relation arity (the paper's ``k``)."""
+        return max(self.relations.values(), default=0)
+
+    def arity(self, name: str) -> int:
+        """The declared arity of relation ``name``."""
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+
+@dataclass
+class Database:
+    """A finite relational structure over a schema.
+
+    Examples
+    --------
+    >>> db = Database(Schema({"Friend": 2, "Likes": 2}), domain_size=4)
+    >>> db.add("Friend", (0, 1))
+    >>> (0, 1) in db.relation("Friend")
+    True
+    """
+
+    schema: Schema
+    domain_size: int
+    _relations: dict[str, set[tuple[int, ...]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.domain_size < 0:
+            raise ValueError(f"domain size must be non-negative, got {self.domain_size}")
+        for name in self.schema.relations:
+            self._relations.setdefault(name, set())
+
+    def add(self, relation: str, values: Iterable[int]) -> None:
+        """Insert a fact; validates arity and domain membership."""
+        values = tuple(values)
+        arity = self.schema.arity(relation)
+        if len(values) != arity:
+            raise ValueError(
+                f"relation {relation!r} has arity {arity}, got tuple {values}"
+            )
+        for v in values:
+            if not 0 <= v < self.domain_size:
+                raise ValueError(f"value {v} outside domain [0, {self.domain_size})")
+        self._relations[relation].add(values)
+
+    def relation(self, name: str) -> frozenset[tuple[int, ...]]:
+        """The current extension of relation ``name``."""
+        return frozenset(self._relations[name])
+
+    @property
+    def size(self) -> int:
+        """``||D||``: domain plus total tuple entries (encoding size)."""
+        return self.domain_size + sum(
+            self.schema.arity(name) * len(tuples)
+            for name, tuples in self._relations.items()
+        )
+
+    def all_tuples(self) -> Iterable[tuple[str, tuple[int, ...]]]:
+        """Every (relation, tuple) fact, deterministically ordered."""
+        for name in sorted(self._relations):
+            for values in sorted(self._relations[name]):
+                yield name, values
+
+    def __repr__(self) -> str:
+        counts = {name: len(tuples) for name, tuples in sorted(self._relations.items())}
+        return f"Database(n={self.domain_size}, tuples={counts})"

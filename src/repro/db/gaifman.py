@@ -1,0 +1,58 @@
+"""The Gaifman graph of a database (Section 2, discussion after Lemma 2.2).
+
+The paper defines nowhere denseness of a class of databases via the
+*adjacency* graphs ``A'(D)``; the more familiar alternative uses Gaifman
+graphs — two elements adjacent iff they co-occur in some tuple.  The
+paper notes the two notions agree for a fixed schema ([34, Thm 4.3.6])
+but differ when the schema may grow ([19, Ex 3.3.2]), because a single
+wide tuple turns into a Gaifman *clique*.
+
+This module provides the Gaifman construction so users can compare both
+reductions, plus :func:`gaifman_density_witness` demonstrating the
+divergence the paper cites: wide-tuple databases whose adjacency graphs
+stay sparse while their Gaifman graphs densify.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database, Schema
+from repro.graphs.colored_graph import ColoredGraph
+
+
+def gaifman_graph(db: Database) -> ColoredGraph:
+    """The Gaifman graph: domain elements, co-occurrence edges.
+
+    Colors: one color per unary relation (its members), so unary facts
+    survive the reduction the way the paper's colored graphs expect.
+    """
+    graph = ColoredGraph(db.domain_size)
+    for name, values in db.all_tuples():
+        distinct = sorted(set(values))
+        for i, u in enumerate(distinct):
+            for v in distinct[i + 1 :]:
+                graph.add_edge(u, v)
+        if len(values) == 1:
+            graph.add_to_color(name, values[0])
+    return graph
+
+
+def gaifman_density_witness(width: int, tuples: int) -> tuple[Database, float, float]:
+    """A database family separating the two reductions.
+
+    One relation of arity ``width`` holding ``tuples`` disjoint tuples:
+    the Gaifman graph is a disjoint union of ``width``-cliques
+    (``~ width^2 / 2`` edges per tuple) while ``A'(D)`` stays a forest of
+    stars (``2 * width`` edges per tuple).  Returns the database and the
+    two density exponents, Gaifman first.
+    """
+    from repro.db.adjacency import adjacency_graph
+    from repro.graphs.sparsity import edge_density_exponent
+
+    if width < 2:
+        raise ValueError(f"need arity >= 2, got {width}")
+    db = Database(Schema({"Wide": width}), domain_size=width * tuples)
+    for t in range(tuples):
+        db.add("Wide", tuple(range(t * width, (t + 1) * width)))
+    gaifman_exponent = edge_density_exponent(gaifman_graph(db))
+    adjacency_exponent = edge_density_exponent(adjacency_graph(db).graph)
+    return db, gaifman_exponent, adjacency_exponent

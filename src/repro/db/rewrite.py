@@ -1,0 +1,183 @@
+"""Lemma 2.2: rewriting relational FO queries to colored-graph queries.
+
+A relational atom ``R(x_1..x_j)`` becomes::
+
+    ∃t ( P_R(t) ∧ ⋀_{i<=j} ∃z ( C_i(z) ∧ E(x_i, z) ∧ E(z, t) ) )
+
+and every quantifier is relativized to the ``Dom`` color (quantifiers of
+the original query range over the database's domain, not over the
+auxiliary tuple/position vertices of ``A'(D)``).  The rewriting is linear
+in the query size, as the lemma states.
+
+Relational queries reuse the FO AST of :mod:`repro.logic.syntax` plus the
+:class:`RelationAtom` node defined here; :func:`evaluate_db` gives them a
+direct (naive) semantics over :class:`~repro.db.database.Database` for
+testing the lemma.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.adjacency import DOMAIN_COLOR, position_color, tuple_color
+from repro.db.database import Database
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    ColorAtom,
+    EdgeAtom,
+    EqAtom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+from repro.logic.transform import all_variables, fresh_variable
+
+
+@dataclass(frozen=True, repr=False)
+class RelationAtom(Formula):
+    """``R(x_1, ..., x_j)`` over a relational schema."""
+
+    relation: str
+    variables: tuple[Var, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(v.name for v in self.variables)
+        return f"{self.relation}({inner})"
+
+
+def _relational_variables(phi: Formula) -> set[Var]:
+    """``all_variables`` extended to relational atoms."""
+    if isinstance(phi, RelationAtom):
+        return set(phi.variables)
+    if isinstance(phi, Not):
+        return _relational_variables(phi.body)
+    if isinstance(phi, (And, Or)):
+        out: set[Var] = set()
+        for part in phi.parts:
+            out |= _relational_variables(part)
+        return out
+    if isinstance(phi, (Exists, Forall)):
+        return _relational_variables(phi.body) | {phi.var}
+    return set(all_variables(phi))
+
+
+def rewrite_query(phi: Formula) -> Formula:
+    """Lemma 2.2: the equivalent query over ``A'(D)``'s schema.
+
+    For every database ``D``: ``phi(D) = rewritten(A'(D))`` as *sets of
+    tuples* — quantifiers and free variables are relativized to the
+    ``Dom`` color, so auxiliary tuple/position vertices never appear in
+    answers (domain elements keep their ids in ``A'(D)``).
+    """
+    used = _relational_variables(phi)
+
+    def fresh(stem: str) -> Var:
+        var = fresh_variable(frozenset(used), stem)
+        used.add(var)
+        return var
+
+    def walk(node: Formula) -> Formula:
+        if isinstance(node, RelationAtom):
+            t = fresh("t")
+            parts: list[Formula] = [ColorAtom(tuple_color(node.relation), t)]
+            for i, var in enumerate(node.variables, start=1):
+                z = fresh("z")
+                parts.append(
+                    Exists(
+                        z,
+                        And(
+                            (
+                                ColorAtom(position_color(i), z),
+                                EdgeAtom(var, z),
+                                EdgeAtom(z, t),
+                            )
+                        ),
+                    )
+                )
+            return Exists(t, And(tuple(parts)))
+        if isinstance(node, (Top, Bottom, EqAtom, ColorAtom)):
+            return node
+        if isinstance(node, EdgeAtom):
+            raise ValueError(
+                "relational queries must not contain raw E atoms; "
+                "use RelationAtom for schema relations"
+            )
+        if isinstance(node, Not):
+            return Not(walk(node.body))
+        if isinstance(node, And):
+            return And(tuple(walk(p) for p in node.parts))
+        if isinstance(node, Or):
+            return Or(tuple(walk(p) for p in node.parts))
+        if isinstance(node, Exists):
+            return Exists(
+                node.var, And((ColorAtom(DOMAIN_COLOR, node.var), walk(node.body)))
+            )
+        if isinstance(node, Forall):
+            return Forall(
+                node.var,
+                Or((Not(ColorAtom(DOMAIN_COLOR, node.var)), walk(node.body))),
+            )
+        raise TypeError(f"unknown formula node: {node!r}")
+
+    rewritten = walk(phi)
+    free = sorted(
+        _relational_variables(phi) - _bound_variables(phi), key=lambda v: v.name
+    )
+    guards = tuple(ColorAtom(DOMAIN_COLOR, v) for v in free)
+    if guards:
+        rewritten = And((*guards, rewritten))
+    return rewritten
+
+
+def _bound_variables(phi: Formula) -> set[Var]:
+    if isinstance(phi, Not):
+        return _bound_variables(phi.body)
+    if isinstance(phi, (And, Or)):
+        out: set[Var] = set()
+        for part in phi.parts:
+            out |= _bound_variables(part)
+        return out
+    if isinstance(phi, (Exists, Forall)):
+        return _bound_variables(phi.body) | {phi.var}
+    return set()
+
+
+def evaluate_db(db: Database, phi: Formula, assignment: dict[Var, int]) -> bool:
+    """Naive semantics of relational FO directly over the database."""
+    if isinstance(phi, Top):
+        return True
+    if isinstance(phi, Bottom):
+        return False
+    if isinstance(phi, RelationAtom):
+        values = tuple(assignment[v] for v in phi.variables)
+        return values in db.relation(phi.relation)
+    if isinstance(phi, EqAtom):
+        return assignment[phi.left] == assignment[phi.right]
+    if isinstance(phi, ColorAtom):
+        raise ValueError("color atoms have no relational semantics")
+    if isinstance(phi, Not):
+        return not evaluate_db(db, phi.body, assignment)
+    if isinstance(phi, And):
+        return all(evaluate_db(db, p, assignment) for p in phi.parts)
+    if isinstance(phi, Or):
+        return any(evaluate_db(db, p, assignment) for p in phi.parts)
+    if isinstance(phi, Exists):
+        extended = dict(assignment)
+        for value in range(db.domain_size):
+            extended[phi.var] = value
+            if evaluate_db(db, phi.body, extended):
+                return True
+        return False
+    if isinstance(phi, Forall):
+        extended = dict(assignment)
+        for value in range(db.domain_size):
+            extended[phi.var] = value
+            if not evaluate_db(db, phi.body, extended):
+                return False
+        return True
+    raise TypeError(f"unknown formula node: {phi!r}")

@@ -1,0 +1,330 @@
+"""Generators for nowhere dense graph families (Section 2 / Theorem 2.1).
+
+The paper's guarantees hold for any *nowhere dense* class: bounded degree,
+bounded treewidth, planar, bounded expansion, ...  We cannot ship the
+authors' abstract class ``C``; instead we generate canonical members of
+such classes so the benchmarks can sweep ``n`` inside a fixed class, which
+is exactly the regime of the theorems.
+
+All generators are deterministic given their ``seed`` and return
+:class:`~repro.graphs.colored_graph.ColoredGraph` instances whose vertices
+optionally carry colors drawn from ``palette`` (used by the example
+queries; color assignment is random but seeded).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.graphs.colored_graph import ColoredGraph
+
+#: Default colors sprinkled on generated graphs.
+DEFAULT_PALETTE: tuple[str, ...] = ("Red", "Blue", "Green")
+
+
+def _sprinkle_colors(
+    graph: ColoredGraph,
+    rng: random.Random,
+    palette: Sequence[str],
+    density: float,
+) -> ColoredGraph:
+    if not palette or density <= 0:
+        return graph
+    for name in palette:
+        members = [v for v in graph.vertices() if rng.random() < density]
+        graph.set_color(name, members)
+    return graph
+
+
+def path(n: int, palette: Sequence[str] = DEFAULT_PALETTE, seed: int = 0) -> ColoredGraph:
+    """A path ``0 - 1 - ... - n-1`` (treewidth 1)."""
+    g = ColoredGraph(n, ((i, i + 1) for i in range(n - 1)))
+    return _sprinkle_colors(g, random.Random(seed), palette, 0.3)
+
+
+def cycle(n: int, palette: Sequence[str] = DEFAULT_PALETTE, seed: int = 0) -> ColoredGraph:
+    """A cycle on ``n >= 3`` vertices (treewidth 2)."""
+    if n < 3:
+        raise ValueError(f"a cycle needs at least 3 vertices, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    g = ColoredGraph(n, edges)
+    return _sprinkle_colors(g, random.Random(seed), palette, 0.3)
+
+
+def star(n: int, palette: Sequence[str] = DEFAULT_PALETTE, seed: int = 0) -> ColoredGraph:
+    """A star with center ``0`` (diameter 2, unbounded degree, still sparse)."""
+    g = ColoredGraph(n, ((0, i) for i in range(1, n)))
+    return _sprinkle_colors(g, random.Random(seed), palette, 0.3)
+
+
+def binary_tree(depth: int, palette: Sequence[str] = DEFAULT_PALETTE, seed: int = 0) -> ColoredGraph:
+    """A complete binary tree of the given depth (``2^(depth+1)-1`` vertices)."""
+    n = 2 ** (depth + 1) - 1
+    edges = [((i - 1) // 2, i) for i in range(1, n)]
+    g = ColoredGraph(n, edges)
+    return _sprinkle_colors(g, random.Random(seed), palette, 0.3)
+
+
+def random_tree(n: int, palette: Sequence[str] = DEFAULT_PALETTE, seed: int = 0) -> ColoredGraph:
+    """A uniform-attachment random tree: vertex ``i`` hangs off a random earlier vertex."""
+    rng = random.Random(seed)
+    edges = [(rng.randrange(i), i) for i in range(1, n)]
+    g = ColoredGraph(n, edges)
+    return _sprinkle_colors(g, rng, palette, 0.3)
+
+
+def random_forest(
+    n: int,
+    trees: int = 4,
+    palette: Sequence[str] = DEFAULT_PALETTE,
+    seed: int = 0,
+) -> ColoredGraph:
+    """A forest of roughly equal random trees (disconnected input coverage)."""
+    if trees < 1:
+        raise ValueError(f"need at least one tree, got {trees}")
+    rng = random.Random(seed)
+    roots = set(range(min(trees, max(n, 1))))
+    edges = []
+    for i in range(1, n):
+        if i in roots:
+            continue
+        # attach to an earlier vertex in the same residue class => `trees` components
+        candidates = range(i % trees, i, trees)
+        edges.append((rng.choice(list(candidates)) if len(candidates) else i % trees, i))
+    g = ColoredGraph(n, edges)
+    return _sprinkle_colors(g, rng, palette, 0.3)
+
+
+def caterpillar(spine: int, legs: int = 2, palette: Sequence[str] = DEFAULT_PALETTE, seed: int = 0) -> ColoredGraph:
+    """A caterpillar: a spine path with ``legs`` pendant vertices per spine node."""
+    n = spine * (1 + legs)
+    g = ColoredGraph(n)
+    for i in range(spine - 1):
+        g.add_edge(i, i + 1)
+    next_vertex = spine
+    for i in range(spine):
+        for _ in range(legs):
+            g.add_edge(i, next_vertex)
+            next_vertex += 1
+    return _sprinkle_colors(g, random.Random(seed), palette, 0.3)
+
+
+def grid(rows: int, cols: int, palette: Sequence[str] = DEFAULT_PALETTE, seed: int = 0) -> ColoredGraph:
+    """The ``rows x cols`` grid graph — planar, the canonical nowhere dense example."""
+    n = rows * cols
+    g = ColoredGraph(n)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return _sprinkle_colors(g, random.Random(seed), palette, 0.3)
+
+
+def bounded_degree_random_graph(
+    n: int,
+    degree: int = 3,
+    palette: Sequence[str] = DEFAULT_PALETTE,
+    seed: int = 0,
+) -> ColoredGraph:
+    """A random graph with maximum degree ``degree`` (bounded-degree class).
+
+    Built by attempting ``n * degree / 2`` random edges and accepting those
+    that keep all degrees within the bound.
+    """
+    if degree < 0:
+        raise ValueError(f"degree bound must be non-negative, got {degree}")
+    rng = random.Random(seed)
+    g = ColoredGraph(n)
+    attempts = n * degree
+    for _ in range(attempts):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or g.has_edge(u, v):
+            continue
+        if g.degree(u) < degree and g.degree(v) < degree:
+            g.add_edge(u, v)
+    return _sprinkle_colors(g, rng, palette, 0.3)
+
+
+def outerplanar_random_graph(
+    n: int,
+    extra_chords: int | None = None,
+    palette: Sequence[str] = DEFAULT_PALETTE,
+    seed: int = 0,
+) -> ColoredGraph:
+    """A random maximal-ish outerplanar graph: a cycle plus non-crossing chords.
+
+    Outerplanar graphs have treewidth <= 2 and exclude ``K_4`` as a minor,
+    hence form a (very effectively) nowhere dense class.
+    """
+    if n < 3:
+        raise ValueError(f"need at least 3 vertices, got {n}")
+    rng = random.Random(seed)
+    g = cycle(n, palette=(), seed=seed)
+    if extra_chords is None:
+        extra_chords = n // 2
+    # Non-crossing chords via recursive interval splitting.
+    intervals = [(0, n - 1)]
+    added = 0
+    while intervals and added < extra_chords:
+        lo, hi = intervals.pop(rng.randrange(len(intervals)))
+        if hi - lo < 3:
+            continue
+        mid = rng.randrange(lo + 1, hi)
+        if mid - lo >= 2:
+            g.add_edge(lo, mid)
+            added += 1
+            intervals.append((lo, mid))
+        if hi - mid >= 2:
+            intervals.append((mid, hi))
+    return _sprinkle_colors(g, rng, palette, 0.3)
+
+
+def random_planar_like_graph(
+    n: int,
+    palette: Sequence[str] = DEFAULT_PALETTE,
+    seed: int = 0,
+) -> ColoredGraph:
+    """A sparse planar-like graph: a random tree plus short locality-respecting chords.
+
+    Each extra chord connects vertices at tree-distance <= 3, which keeps the
+    graph in a bounded-expansion (hence nowhere dense) class while giving it
+    cycles and denser local structure than a tree.
+    """
+    rng = random.Random(seed)
+    g = random_tree(n, palette=(), seed=seed)
+    parents = {}
+    for u, v in g.edges():
+        parents[max(u, v)] = min(u, v)
+    for v in range(2, n):
+        if rng.random() < 0.3:
+            p = parents.get(v)
+            gp = parents.get(p) if p is not None else None
+            target = gp if gp is not None and rng.random() < 0.5 else p
+            if target is not None and target != v and not g.has_edge(v, target):
+                g.add_edge(v, target)
+    return _sprinkle_colors(g, rng, palette, 0.3)
+
+
+def subdivided_clique(k: int, subdivisions: int = 1, palette: Sequence[str] = ()) -> ColoredGraph:
+    """The ``subdivisions``-subdivision of ``K_k``.
+
+    For fixed ``subdivisions`` and growing ``k`` these graphs are *somewhere
+    dense at depth subdivisions*: ``K_k`` is a shallow minor at that depth.
+    Used by tests/benches as a *negative* control — covers and splitter
+    strategies degrade on them, as the theory predicts.
+    """
+    if k < 2:
+        raise ValueError(f"need k >= 2, got {k}")
+    if subdivisions < 0:
+        raise ValueError(f"subdivisions must be non-negative, got {subdivisions}")
+    pairs = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    n = k + len(pairs) * subdivisions
+    g = ColoredGraph(n)
+    next_vertex = k
+    for i, j in pairs:
+        prev = i
+        for _ in range(subdivisions):
+            g.add_edge(prev, next_vertex)
+            prev = next_vertex
+            next_vertex += 1
+        g.add_edge(prev, j)
+    if palette:
+        _sprinkle_colors(g, random.Random(0), palette, 0.3)
+    return g
+
+
+def partial_k_tree(
+    n: int,
+    k: int = 2,
+    edge_keep: float = 0.7,
+    palette: Sequence[str] = DEFAULT_PALETTE,
+    seed: int = 0,
+) -> ColoredGraph:
+    """A random partial k-tree: treewidth <= k, hence nowhere dense.
+
+    Built the classic way — start from a (k+1)-clique, repeatedly attach a
+    new vertex to a random existing k-clique — then drop each edge with
+    probability ``1 - edge_keep`` (subgraphs of k-trees are exactly the
+    graphs of treewidth <= k).
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if n < k + 1:
+        raise ValueError(f"need at least k+1 = {k + 1} vertices, got {n}")
+    if not 0 <= edge_keep <= 1:
+        raise ValueError(f"edge_keep must be in [0, 1], got {edge_keep}")
+    rng = random.Random(seed)
+    g = ColoredGraph(n)
+    cliques = [tuple(range(k + 1))]
+    edges = {(i, j) for i in range(k + 1) for j in range(i + 1, k + 1)}
+    for v in range(k + 1, n):
+        base = list(rng.choice(cliques))
+        rng.shuffle(base)
+        anchor = tuple(sorted(base[:k]))
+        for u in anchor:
+            edges.add((min(u, v), max(u, v)))
+        for dropped in anchor:
+            cliques.append(tuple(sorted((set(anchor) - {dropped}) | {v})))
+    for u, v in edges:
+        if rng.random() < edge_keep:
+            g.add_edge(u, v)
+    return _sprinkle_colors(g, rng, palette, 0.3)
+
+
+def hex_grid(rows: int, cols: int, palette: Sequence[str] = DEFAULT_PALETTE, seed: int = 0) -> ColoredGraph:
+    """A hexagonal (brick-wall) lattice — planar with maximum degree 3.
+
+    Uses the brick-wall embedding of the honeycomb: the ``rows x cols``
+    grid with every other vertical edge removed.
+    """
+    n = rows * cols
+    g = ColoredGraph(n)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows and (r + c) % 2 == 0:
+                g.add_edge(v, v + cols)
+    return _sprinkle_colors(g, random.Random(seed), palette, 0.3)
+
+
+def long_cycle_with_chords(
+    n: int,
+    chords: int | None = None,
+    chord_span: int = 6,
+    palette: Sequence[str] = DEFAULT_PALETTE,
+    seed: int = 0,
+) -> ColoredGraph:
+    """A cycle with short chords — locally dense-ish but bounded expansion.
+
+    All chords connect vertices at cycle-distance <= ``chord_span``, so no
+    small-world shortcuts appear and r-balls stay linear in r.
+    """
+    g = cycle(n, palette=(), seed=seed)
+    rng = random.Random(seed)
+    if chords is None:
+        chords = n // 3
+    for _ in range(chords):
+        a = rng.randrange(n)
+        span = rng.randrange(2, chord_span + 1)
+        b = (a + span) % n
+        if not g.has_edge(a, b):
+            g.add_edge(a, b)
+    return _sprinkle_colors(g, rng, palette, 0.3)
+
+
+#: Named family sweep used by the benchmarks: family name -> builder(n, seed).
+FAMILIES = {
+    "path": lambda n, seed=0: path(n, seed=seed),
+    "random_tree": lambda n, seed=0: random_tree(n, seed=seed),
+    "grid": lambda n, seed=0: grid(max(int(n ** 0.5), 2), max(int(n ** 0.5), 2), seed=seed),
+    "bounded_degree": lambda n, seed=0: bounded_degree_random_graph(n, degree=3, seed=seed),
+    "planar_like": lambda n, seed=0: random_planar_like_graph(n, seed=seed),
+    "outerplanar": lambda n, seed=0: outerplanar_random_graph(n, seed=seed),
+}

@@ -1,0 +1,110 @@
+"""Input validation: is this graph *locally* sparse enough to index?
+
+The paper's guarantees are for nowhere dense **classes**; a single input
+can silently leave the regime — most often via small-world shortcuts
+(long-range edges that make every ``r``-ball engulf the graph), in which
+case the engine stays correct but degrades toward its naive cutoffs.
+:func:`locality_report` measures the quantities that actually drive the
+engine's cost and renders a verdict, so users find out *before* paying
+for a preprocessing run.
+
+>>> from repro.graphs.generators import grid
+>>> locality_report(grid(20, 20, palette=()), radius=2).verdict
+'good'
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.neighborhoods import bounded_bfs
+from repro.graphs.sparsity import (
+    degeneracy,
+    edge_density_exponent,
+    weak_coloring_number_upper_bound,
+)
+
+
+@dataclass(frozen=True)
+class LocalityReport:
+    """Measured locality statistics and a verdict.
+
+    Attributes
+    ----------
+    radius:
+        The ball radius the statistics refer to (use the query's
+        decomposition radius times its arity for a faithful preview).
+    mean_ball / max_ball:
+        Sampled ``|N_radius(v)|`` statistics.
+    ball_fraction:
+        ``max_ball / n`` — the engine's bags are ~2x these balls, so a
+        fraction near 1 means "one bag is the whole graph".
+    density_exponent / degeneracy / weak_coloring_bound:
+        Global sparsity measures (Theorem 2.1 / Section 2).
+    verdict:
+        ``"good"`` (balls pseudo-constant), ``"degraded"`` (balls a large
+        fraction of the graph: expect naive-cutoff behaviour) or
+        ``"dense"`` (globally dense: wrong tool).
+    """
+
+    radius: int
+    n: int
+    mean_ball: float
+    max_ball: int
+    ball_fraction: float
+    density_exponent: float
+    degeneracy: int
+    weak_coloring_bound: int
+    verdict: str
+
+    def render(self) -> str:
+        """Human-readable multi-line summary."""
+        return "\n".join(
+            [
+                f"n = {self.n}, radius = {self.radius}",
+                f"ball sizes: mean {self.mean_ball:.1f}, max {self.max_ball} "
+                f"({self.ball_fraction:.0%} of the graph)",
+                f"density exponent: {self.density_exponent:.3f}",
+                f"degeneracy: {self.degeneracy}",
+                f"weak {self.radius}-coloring bound: {self.weak_coloring_bound}",
+                f"verdict: {self.verdict}",
+            ]
+        )
+
+
+def locality_report(
+    graph: ColoredGraph,
+    radius: int = 2,
+    samples: int = 64,
+    seed: int = 0,
+) -> LocalityReport:
+    """Sample ball sizes and sparsity measures; see :class:`LocalityReport`."""
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    n = graph.n
+    if n == 0:
+        return LocalityReport(radius, 0, 0.0, 0, 0.0, 0.0, 0, 1, "good")
+    rng = random.Random(seed)
+    vertices = (
+        list(graph.vertices())
+        if n <= samples
+        else rng.sample(range(n), samples)
+    )
+    sizes = [len(bounded_bfs(graph, [v], radius)) for v in vertices]
+    mean_ball = sum(sizes) / len(sizes)
+    max_ball = max(sizes)
+    fraction = max_ball / n
+    exponent = edge_density_exponent(graph)
+    degen = degeneracy(graph)
+    weak = weak_coloring_number_upper_bound(graph, radius) if n <= 4096 else -1
+    if exponent > 1.5 and n > 16:
+        verdict = "dense"
+    elif fraction > 0.5 and n > 64:
+        verdict = "degraded"
+    else:
+        verdict = "good"
+    return LocalityReport(
+        radius, n, mean_ball, max_ball, fraction, exponent, degen, weak, verdict
+    )

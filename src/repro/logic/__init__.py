@@ -1,0 +1,71 @@
+"""First-order logic over colored graphs (Sections 2 and 5.1.2).
+
+``FO`` formulas use edge atoms ``E(x, y)``, color atoms ``Red(x)``, and
+equality.  ``FO+`` additionally allows *distance atoms* ``dist(x, y) <= d``
+(Section 5's logic); they add no expressive power but change the notion of
+quantifier rank (*q-rank*), which the paper's induction relies on.
+"""
+
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    ColorAtom,
+    DistAtom,
+    EdgeAtom,
+    EqAtom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+from repro.logic.parser import parse_formula, ParseError
+from repro.logic.semantics import evaluate, solutions, satisfies
+from repro.logic.ranks import quantifier_rank, q_rank_bound, check_q_rank, f_q
+from repro.logic.builders import (
+    dist_at_most,
+    dist_greater,
+    distance_type_formula,
+    independence_sentence,
+)
+from repro.logic.transform import (
+    free_variables,
+    negation_normal_form,
+    rename_variable,
+    substitute,
+)
+
+__all__ = [
+    "And",
+    "Bottom",
+    "ColorAtom",
+    "DistAtom",
+    "EdgeAtom",
+    "EqAtom",
+    "Exists",
+    "Forall",
+    "Formula",
+    "Not",
+    "Or",
+    "Top",
+    "Var",
+    "parse_formula",
+    "ParseError",
+    "evaluate",
+    "solutions",
+    "satisfies",
+    "quantifier_rank",
+    "q_rank_bound",
+    "check_q_rank",
+    "f_q",
+    "dist_at_most",
+    "dist_greater",
+    "distance_type_formula",
+    "independence_sentence",
+    "free_variables",
+    "negation_normal_form",
+    "rename_variable",
+    "substitute",
+]

@@ -1,0 +1,110 @@
+"""Formula builders for the paper's stock queries.
+
+* ``dist_at_most(x, y, r)`` — Definition 4.1's pure-FO distance query (and
+  the FO+ one-atom version).
+* ``independence_sentence`` — the (r, q)-independence sentences of
+  Section 5.1.2.
+* ``distance_type_formula`` — the query ``rho_tau`` of preprocessing Step 2
+  (Section 5.2.1) asserting that a tuple has exactly distance type ``tau``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.logic.syntax import (
+    And,
+    DistAtom,
+    EdgeAtom,
+    EqAtom,
+    Exists,
+    Formula,
+    Not,
+    Or,
+    Var,
+    conjunction,
+)
+
+
+def dist_at_most(x: Var, y: Var, r: int, as_atom: bool = True) -> Formula:
+    """``dist(x, y) <= r``.
+
+    With ``as_atom=True`` (default) this is the single FO+ atom.  With
+    ``as_atom=False`` it is the pure-FO formula of Definition 4.1::
+
+        dist_<=0(x,y) := x = y
+        dist_<=r(x,y) := exists z (E(x,z) & dist_<=r-1(z,y)) | dist_<=r-1(x,y)
+    """
+    if r < 0:
+        raise ValueError(f"r must be non-negative, got {r}")
+    if as_atom:
+        return DistAtom(x, y, r)
+    if r == 0:
+        return EqAtom(x, y)
+    previous = dist_at_most(x, y, r - 1, as_atom=False)
+    z = Var(f"_d{r}_{x.name}_{y.name}")
+    step = Exists(z, And((EdgeAtom(x, z), _shift_first(previous, x, z))))
+    return Or((step, previous))
+
+
+def _shift_first(phi: Formula, old: Var, new: Var) -> Formula:
+    from repro.logic.transform import substitute
+
+    return substitute(phi, {old: new})
+
+
+def dist_greater(x: Var, y: Var, r: int) -> Formula:
+    """``dist(x, y) > r`` as a negated distance atom."""
+    return Not(DistAtom(x, y, r))
+
+
+def independence_sentence(
+    count: int,
+    separation: int,
+    witness: Formula,
+    witness_var: Var,
+) -> Formula:
+    """An (r, q)-independence sentence (Section 5.1.2)::
+
+        exists z_1 ... z_count (  AND_{i<j} dist(z_i, z_j) > separation
+                                & AND_i witness(z_i) )
+
+    ``witness`` must be quantifier-free with single free variable
+    ``witness_var``.
+    """
+    from repro.logic.transform import substitute
+
+    if count < 1:
+        raise ValueError(f"count must be positive, got {count}")
+    variables = [Var(f"_z{i}") for i in range(1, count + 1)]
+    parts: list[Formula] = []
+    for i in range(count):
+        for j in range(i + 1, count):
+            parts.append(dist_greater(variables[i], variables[j], separation))
+    for var in variables:
+        parts.append(substitute(witness, {witness_var: var}))
+    body = conjunction(parts)
+    for var in reversed(variables):
+        body = Exists(var, body)
+    return body
+
+
+def distance_type_formula(variables: list[Var], edges: Iterable[tuple[int, int]], r: int) -> Formula:
+    """``rho_tau``: the tuple has exactly distance type ``tau`` at scale ``r``.
+
+    ``tau`` is given by ``edges`` over index positions ``0..k-1``: position
+    pair ``{i, j}`` is an edge iff ``dist(x_i, x_j) <= r``.  The formula
+    conjoins ``dist <= r`` atoms for edges and their negations for
+    non-edges (preprocessing Step 2 of Section 5.2.1).
+    """
+    k = len(variables)
+    edge_set = {frozenset(e) for e in edges}
+    for e in edge_set:
+        if not all(0 <= i < k for i in e) or len(e) != 2:
+            raise ValueError(f"invalid distance-type edge {set(e)} for arity {k}")
+    parts: list[Formula] = []
+    for i in range(k):
+        for j in range(i + 1, k):
+            atom = DistAtom(variables[i], variables[j], r)
+            parts.append(atom if frozenset((i, j)) in edge_set else Not(atom))
+    return conjunction(parts)

@@ -1,0 +1,230 @@
+"""A small recursive-descent parser for FO+ formulas.
+
+Grammar (precedence low to high: ``->``, ``|``, ``&``, ``~``, atoms)::
+
+    formula   := quantified
+    quantified:= ("exists" | "forall") var ("," var)* "." quantified | implies
+    implies   := or ("->" implies)?
+    or        := and ("|" and)*
+    and       := unary ("&" unary)*
+    unary     := "~" unary | "(" formula ")" | atom
+    atom      := "E" "(" var "," var ")"
+               | "dist" "(" var "," var ")" ("<=" | ">") nat
+               | var "=" var | var "!=" var
+               | name "(" var ")"                    (color atom)
+               | "true" | "false"
+
+Examples
+--------
+>>> parse_formula("exists z. E(x, z) & E(z, y)")
+(exists z. (E(x, z) & E(z, y)))
+>>> parse_formula("dist(x, y) > 2 & Blue(y)")
+(~(dist(x, y) <= 2) & Blue(y))
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    ColorAtom,
+    DistAtom,
+    EdgeAtom,
+    EqAtom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed formula text, with position information."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<arrow>->)|(?P<le><=)|(?P<ne>!=)|(?P<sym>[()&|~=,.>])"
+    r"|(?P<nat>\d+)|(?P<name>[A-Za-z_][A-Za-z0-9_']*))"
+)
+
+_KEYWORDS = {"exists", "forall", "true", "false", "dist", "E"}
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None or match.end() == pos:
+            remainder = text[pos:].lstrip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected character at position {pos}: {remainder[:10]!r}")
+        pos = match.end()
+        for kind in ("arrow", "le", "ne", "sym", "nat", "name"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value, match.start()))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self) -> tuple[str, str, int] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def _next(self) -> tuple[str, str, int]:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of formula: {self.text!r}")
+        self.index += 1
+        return token
+
+    def _expect(self, value: str) -> None:
+        token = self._next()
+        if token[1] != value:
+            raise ParseError(
+                f"expected {value!r} at position {token[2]} but found {token[1]!r}"
+            )
+
+    def _at(self, value: str) -> bool:
+        token = self._peek()
+        return token is not None and token[1] == value
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> Formula:
+        """Parse the whole input; rejects trailing tokens."""
+        phi = self._quantified()
+        token = self._peek()
+        if token is not None:
+            raise ParseError(f"trailing input at position {token[2]}: {token[1]!r}")
+        return phi
+
+    def _quantified(self) -> Formula:
+        token = self._peek()
+        if token is not None and token[1] in ("exists", "forall"):
+            self._next()
+            variables = [self._variable()]
+            while self._at(","):
+                self._next()
+                variables.append(self._variable())
+            self._expect(".")
+            body = self._quantified()
+            quantifier = Exists if token[1] == "exists" else Forall
+            for var in reversed(variables):
+                body = quantifier(var, body)
+            return body
+        return self._implies()
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        if self._at("->"):
+            self._next()
+            right = self._implies()
+            return Or((Not(left), right))
+        return left
+
+    def _or(self) -> Formula:
+        parts = [self._and()]
+        while self._at("|"):
+            self._next()
+            parts.append(self._and())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _and(self) -> Formula:
+        parts = [self._unary()]
+        while self._at("&"):
+            self._next()
+            parts.append(self._unary())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _unary(self) -> Formula:
+        token = self._peek()
+        if token is not None and token[1] in ("exists", "forall"):
+            return self._quantified()
+        if self._at("~"):
+            self._next()
+            return Not(self._unary())
+        if self._at("("):
+            self._next()
+            phi = self._quantified()
+            self._expect(")")
+            return phi
+        return self._atom()
+
+    def _variable(self) -> Var:
+        token = self._next()
+        if token[0] != "name" or token[1] in _KEYWORDS:
+            raise ParseError(f"expected a variable at position {token[2]}, found {token[1]!r}")
+        return Var(token[1])
+
+    def _atom(self) -> Formula:
+        token = self._next()
+        kind, value, pos = token
+        if value == "true":
+            return Top()
+        if value == "false":
+            return Bottom()
+        if value == "E":
+            self._expect("(")
+            left = self._variable()
+            self._expect(",")
+            right = self._variable()
+            self._expect(")")
+            return EdgeAtom(left, right)
+        if value == "dist":
+            self._expect("(")
+            left = self._variable()
+            self._expect(",")
+            right = self._variable()
+            self._expect(")")
+            op = self._next()
+            bound_token = self._next()
+            if bound_token[0] != "nat":
+                raise ParseError(
+                    f"expected a number at position {bound_token[2]}, found {bound_token[1]!r}"
+                )
+            bound = int(bound_token[1])
+            if op[1] == "<=":
+                return DistAtom(left, right, bound)
+            if op[1] == ">":
+                return Not(DistAtom(left, right, bound))
+            raise ParseError(f"expected '<=' or '>' at position {op[2]}, found {op[1]!r}")
+        if kind != "name":
+            raise ParseError(f"unexpected token {value!r} at position {pos}")
+        # either a color atom Name(x) or an equality x = y / x != y
+        if self._at("("):
+            self._next()
+            var = self._variable()
+            self._expect(")")
+            return ColorAtom(value, var)
+        if self._at("="):
+            self._next()
+            return EqAtom(Var(value), self._variable())
+        if self._at("!="):
+            self._next()
+            return Not(EqAtom(Var(value), self._variable()))
+        raise ParseError(
+            f"expected '(', '=' or '!=' after {value!r} at position {pos}"
+        )
+
+
+def parse_formula(text: str) -> Formula:
+    """Parse ``text`` into a :class:`~repro.logic.syntax.Formula`.
+
+    Raises :class:`ParseError` with position information on malformed input.
+    """
+    return _Parser(text).parse()

@@ -1,0 +1,116 @@
+"""Quantifier rank and *q-rank* (Section 5.1.2).
+
+Following [17, Section 7.2] and the paper: an FO+ query has *q-rank at most
+l* if its quantifier rank is at most ``l`` and every distance atom
+``dist(x, y) <= d`` in the scope of ``i <= l`` quantifiers satisfies
+``d <= (4q)^(q + l - i)``.  The paper's key radius is ``f_q(l) = (4q)^(q+l)``.
+
+The q-rank discipline is what lets Section 5's induction keep the splitter
+game's radius *fixed*: each appeal to the Removal Lemma preserves q-rank,
+so the locality radius ``r = f_q(l)`` never grows.
+"""
+
+from __future__ import annotations
+
+from repro.logic.syntax import (
+    And,
+    DistAtom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+)
+
+
+def quantifier_rank(phi: Formula) -> int:
+    """Maximum nesting depth of quantifiers."""
+    if isinstance(phi, Not):
+        return quantifier_rank(phi.body)
+    if isinstance(phi, (And, Or)):
+        return max((quantifier_rank(p) for p in phi.parts), default=0)
+    if isinstance(phi, (Exists, Forall)):
+        return 1 + quantifier_rank(phi.body)
+    return 0
+
+
+def f_q(q: int, ell: int) -> int:
+    """``f_q(l) = (4q)^(q+l)`` — the locality radius of Theorem 5.4."""
+    if q < 0 or ell < 0:
+        raise ValueError(f"q and l must be non-negative, got q={q}, l={ell}")
+    return (4 * q) ** (q + ell)
+
+
+def max_distance_bound(phi: Formula) -> int:
+    """The largest ``d`` in any distance atom of ``phi`` (0 if none)."""
+    if isinstance(phi, DistAtom):
+        return phi.bound
+    if isinstance(phi, Not):
+        return max_distance_bound(phi.body)
+    if isinstance(phi, (And, Or)):
+        return max((max_distance_bound(p) for p in phi.parts), default=0)
+    if isinstance(phi, (Exists, Forall)):
+        return max_distance_bound(phi.body)
+    return 0
+
+
+def check_q_rank(phi: Formula, q: int, ell: int) -> bool:
+    """Does ``phi`` have q-rank at most ``ell``?
+
+    Checks quantifier rank <= ``ell`` and, for every distance atom in the
+    scope of ``i`` quantifiers, ``bound <= (4q)^(q + ell - i)``.
+    """
+
+    def walk(node: Formula, depth: int) -> bool:
+        if isinstance(node, DistAtom):
+            return node.bound <= f_q(q, ell - depth) if depth <= ell else False
+        if isinstance(node, Not):
+            return walk(node.body, depth)
+        if isinstance(node, (And, Or)):
+            return all(walk(p, depth) for p in node.parts)
+        if isinstance(node, (Exists, Forall)):
+            if depth + 1 > ell:
+                return False
+            return walk(node.body, depth + 1)
+        return True
+
+    return walk(phi, 0)
+
+
+def q_rank_bound(phi: Formula, arity: int) -> tuple[int, int, int]:
+    """Choose paper parameters ``(q, ell, r)`` accommodating ``phi``.
+
+    Section 5.2 fixes ``q >= k``, ``ell = q - k`` and ``r = f_q(ell)``.  We
+    pick the smallest such ``q`` for which ``phi`` has q-rank at most
+    ``ell`` — i.e. ``q = k + quantifier_rank(phi)`` adjusted upward until
+    the distance atoms fit the discipline.
+
+    Returns ``(q, ell, r)``.  Note ``r`` grows like ``(4q)^(2q)``; for
+    benchmarks we usually use the *practical radius* instead (see
+    :func:`practical_radius`), exactly because the paper's constants are
+    astronomically conservative.
+    """
+    if arity < 0:
+        raise ValueError(f"arity must be non-negative, got {arity}")
+    q = max(arity + quantifier_rank(phi), 1)
+    while True:
+        ell = q - arity
+        if ell >= quantifier_rank(phi) and check_q_rank(phi, q, ell):
+            return q, ell, f_q(q, ell)
+        q += 1
+
+
+def practical_radius(phi: Formula) -> int:
+    """A sound but *practical* locality radius for ``phi``.
+
+    Gaifman locality guarantees that an FO formula of quantifier rank
+    ``qr`` is local with radius ``<= (7^qr - 1) / 2``; with explicit
+    distance atoms of bound ``d`` the relevant scale is stretched by ``d``.
+    We use ``max(1, (7**qr - 1) // 2, max_dist) `` capped in callers.  The
+    engine's correctness never depends on this number (bag-local evaluation
+    plus the far-component independence check are verified per query shape);
+    it only determines the cover radius, i.e. performance.
+    """
+    qr = quantifier_rank(phi)
+    gaifman = (7 ** qr - 1) // 2 if qr < 8 else 7 ** 8
+    return max(1, gaifman, max_distance_bound(phi))

@@ -1,0 +1,175 @@
+"""Syntactic transformations on formulas.
+
+Substitution, renaming, free variables, negation normal form — the
+utilities the Removal Lemma (5.5) and the normal-form decomposer build on.
+"""
+
+from __future__ import annotations
+
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    ColorAtom,
+    DistAtom,
+    EdgeAtom,
+    EqAtom,
+    Exists,
+    Forall,
+    Formula,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+
+
+def free_variables(phi: Formula) -> frozenset[Var]:
+    """The free variables of ``phi``."""
+    if isinstance(phi, (Top, Bottom)):
+        return frozenset()
+    if isinstance(phi, (EdgeAtom, EqAtom, DistAtom)):
+        return frozenset((phi.left, phi.right))
+    if isinstance(phi, ColorAtom):
+        return frozenset((phi.var,))
+    if isinstance(phi, Not):
+        return free_variables(phi.body)
+    if isinstance(phi, (And, Or)):
+        out: frozenset[Var] = frozenset()
+        for part in phi.parts:
+            out |= free_variables(part)
+        return out
+    if isinstance(phi, (Exists, Forall)):
+        return free_variables(phi.body) - {phi.var}
+    raise TypeError(f"unknown formula node: {phi!r}")
+
+
+def all_variables(phi: Formula) -> frozenset[Var]:
+    """All variables occurring in ``phi``, free or bound."""
+    if isinstance(phi, (Top, Bottom)):
+        return frozenset()
+    if isinstance(phi, (EdgeAtom, EqAtom, DistAtom)):
+        return frozenset((phi.left, phi.right))
+    if isinstance(phi, ColorAtom):
+        return frozenset((phi.var,))
+    if isinstance(phi, Not):
+        return all_variables(phi.body)
+    if isinstance(phi, (And, Or)):
+        out: frozenset[Var] = frozenset()
+        for part in phi.parts:
+            out |= all_variables(part)
+        return out
+    if isinstance(phi, (Exists, Forall)):
+        return all_variables(phi.body) | {phi.var}
+    raise TypeError(f"unknown formula node: {phi!r}")
+
+
+def fresh_variable(used: frozenset[Var] | set[Var], stem: str = "u") -> Var:
+    """A variable named ``stem``, ``stem1``, ``stem2``, ... not in ``used``."""
+    if Var(stem) not in used:
+        return Var(stem)
+    i = 1
+    while Var(f"{stem}{i}") in used:
+        i += 1
+    return Var(f"{stem}{i}")
+
+
+def rename_variable(phi: Formula, old: Var, new: Var) -> Formula:
+    """Capture-avoiding rename of the *free* occurrences of ``old`` to ``new``."""
+    return substitute(phi, {old: new})
+
+
+def substitute(phi: Formula, mapping: dict[Var, Var]) -> Formula:
+    """Simultaneous capture-avoiding substitution of free variables."""
+    if not mapping:
+        return phi
+    if isinstance(phi, (Top, Bottom)):
+        return phi
+    if isinstance(phi, EdgeAtom):
+        return EdgeAtom(mapping.get(phi.left, phi.left), mapping.get(phi.right, phi.right))
+    if isinstance(phi, EqAtom):
+        return EqAtom(mapping.get(phi.left, phi.left), mapping.get(phi.right, phi.right))
+    if isinstance(phi, DistAtom):
+        return DistAtom(
+            mapping.get(phi.left, phi.left), mapping.get(phi.right, phi.right), phi.bound
+        )
+    if isinstance(phi, ColorAtom):
+        return ColorAtom(phi.color, mapping.get(phi.var, phi.var))
+    if isinstance(phi, Not):
+        return Not(substitute(phi.body, mapping))
+    if isinstance(phi, And):
+        return And(tuple(substitute(part, mapping) for part in phi.parts))
+    if isinstance(phi, Or):
+        return Or(tuple(substitute(part, mapping) for part in phi.parts))
+    if isinstance(phi, (Exists, Forall)):
+        inner = {k: v for k, v in mapping.items() if k != phi.var}
+        if not inner:
+            return phi
+        bound = phi.var
+        if bound in inner.values():
+            # avoid capture: rename the bound variable first
+            used = all_variables(phi) | set(inner) | set(inner.values())
+            fresh = fresh_variable(used, bound.name)
+            body = substitute(phi.body, {bound: fresh})
+            bound = fresh
+        else:
+            body = phi.body
+        node = Exists if isinstance(phi, Exists) else Forall
+        return node(bound, substitute(body, inner))
+    raise TypeError(f"unknown formula node: {phi!r}")
+
+
+def negation_normal_form(phi: Formula) -> Formula:
+    """Push negations to the atoms (standard NNF)."""
+    if isinstance(phi, Not):
+        body = phi.body
+        if isinstance(body, Not):
+            return negation_normal_form(body.body)
+        if isinstance(body, And):
+            return Or(tuple(negation_normal_form(Not(p)) for p in body.parts))
+        if isinstance(body, Or):
+            return And(tuple(negation_normal_form(Not(p)) for p in body.parts))
+        if isinstance(body, Exists):
+            return Forall(body.var, negation_normal_form(Not(body.body)))
+        if isinstance(body, Forall):
+            return Exists(body.var, negation_normal_form(Not(body.body)))
+        if isinstance(body, Top):
+            return Bottom()
+        if isinstance(body, Bottom):
+            return Top()
+        return phi  # negated atom
+    if isinstance(phi, And):
+        return And(tuple(negation_normal_form(p) for p in phi.parts))
+    if isinstance(phi, Or):
+        return Or(tuple(negation_normal_form(p) for p in phi.parts))
+    if isinstance(phi, Exists):
+        return Exists(phi.var, negation_normal_form(phi.body))
+    if isinstance(phi, Forall):
+        return Forall(phi.var, negation_normal_form(phi.body))
+    return phi
+
+
+def standardize_apart(phi: Formula) -> Formula:
+    """Rename bound variables so that no variable is bound twice or both
+    free and bound — a hygiene pass the engine applies before decomposing."""
+    used = set(free_variables(phi))
+
+    def walk(node: Formula) -> Formula:
+        if isinstance(node, Not):
+            return Not(walk(node.body))
+        if isinstance(node, And):
+            return And(tuple(walk(p) for p in node.parts))
+        if isinstance(node, Or):
+            return Or(tuple(walk(p) for p in node.parts))
+        if isinstance(node, (Exists, Forall)):
+            bound = node.var
+            body = node.body
+            if bound in used:
+                fresh = fresh_variable(used, bound.name)
+                body = substitute(body, {bound: fresh})
+                bound = fresh
+            used.add(bound)
+            wrapped = walk(body)
+            return Exists(bound, wrapped) if isinstance(node, Exists) else Forall(bound, wrapped)
+        return node
+
+    return walk(phi)

@@ -1,0 +1,32 @@
+"""The splitter game (Definition 4.5, Theorem 4.6, Remark 4.7).
+
+The game characterizes nowhere denseness: Connector picks a vertex, the
+arena shrinks to its ``r``-ball, Splitter deletes one vertex; Splitter
+wins when the arena empties.  Nowhere dense = Splitter wins in a constant
+number of rounds ``λ(r)``.
+
+The enumeration engine uses Splitter's *moves* as its induction: each bag
+is (contained in) a ``2r``-ball, so removing Splitter's answer strictly
+reduces the number of remaining rounds, and the recursion of Sections 4.2
+and 5.2 terminates.
+"""
+
+from repro.splitter.game import SplitterGame, play_game, rounds_to_win
+from repro.splitter.strategies import (
+    CentroidStrategy,
+    GreedySeparatorStrategy,
+    SplitterStrategy,
+    TopmostStrategy,
+    default_strategy,
+)
+
+__all__ = [
+    "SplitterGame",
+    "play_game",
+    "rounds_to_win",
+    "CentroidStrategy",
+    "GreedySeparatorStrategy",
+    "SplitterStrategy",
+    "TopmostStrategy",
+    "default_strategy",
+]

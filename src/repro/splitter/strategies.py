@@ -1,0 +1,169 @@
+"""Splitter strategies (Remark 4.7).
+
+The paper needs Splitter's answer ``s_{i+1}`` computable from the previous
+moves and ``c_{i+1}`` in time ``O(||N_r^{G_i}(c_{i+1})||)``.  Theorem 4.6
+promises a winning strategy *exists* for every nowhere dense class but is
+not constructive in general; we provide concrete strategies that win
+quickly on the canonical sparse families (see DESIGN.md's substitution
+table):
+
+* :class:`TopmostStrategy` — for rooted forests: delete the unique
+  shallowest vertex of the arena.  Each round strictly increases the
+  minimum depth relative to the ball structure, so Splitter wins in at
+  most ``r+1`` rounds on forests (the classic argument).
+* :class:`CentroidStrategy` — delete a vertex minimizing the largest
+  connected component left behind (a 1/2-balanced separator when one
+  exists, e.g. on trees); good general-purpose play on planar-like
+  inputs.
+* :class:`GreedySeparatorStrategy` — delete the vertex of maximum degree
+  inside the arena; cheap (linear in the arena) and effective on
+  bounded-degree and bounded-expansion graphs.
+
+All strategies receive the arena as an induced subgraph plus the ball
+around Connector's move and must return a member of that ball.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Collection
+
+from repro.graphs.colored_graph import ColoredGraph
+
+
+class SplitterStrategy:
+    """Interface: pick Splitter's vertex inside Connector's ball."""
+
+    def choose(
+        self,
+        graph: ColoredGraph,
+        arena: Collection[int],
+        ball: Collection[int],
+        connector: int,
+        radius: int,
+    ) -> int:
+        """Return Splitter's move ``s ∈ ball``.
+
+        ``graph`` is the ambient graph; ``arena`` the current arena's
+        vertices; ``ball`` is ``N_radius`` of ``connector`` inside the
+        arena (the next arena before Splitter's deletion).
+        """
+        raise NotImplementedError
+
+
+class TopmostStrategy(SplitterStrategy):
+    """Forest play: delete the shallowest vertex of the ball.
+
+    ``depths`` maps every vertex to its depth in a rooted spanning forest;
+    build with :func:`forest_depths`.
+    """
+
+    def __init__(self, depths: dict[int, int]) -> None:
+        self.depths = depths
+
+    def choose(self, graph, arena, ball, connector, radius) -> int:
+        return min(ball, key=lambda v: (self.depths.get(v, 0), v))
+
+
+class GreedySeparatorStrategy(SplitterStrategy):
+    """Delete the highest-degree vertex of the ball (degree within the ball)."""
+
+    def choose(self, graph, arena, ball, connector, radius) -> int:
+        members = set(ball)
+
+        def inner_degree(v: int) -> int:
+            return sum(1 for w in graph.neighbors(v) if w in members)
+
+        return max(ball, key=lambda v: (inner_degree(v), -v))
+
+
+class CentroidStrategy(SplitterStrategy):
+    """Delete the ball vertex minimizing the largest remaining component.
+
+    Exact (scans every candidate) below ``exact_limit`` arena sizes; above
+    it falls back to :class:`GreedySeparatorStrategy` to stay within the
+    Remark 4.7 time budget in spirit.
+    """
+
+    def __init__(self, exact_limit: int = 160) -> None:
+        self.exact_limit = exact_limit
+        self._fallback = GreedySeparatorStrategy()
+
+    def choose(self, graph, arena, ball, connector, radius) -> int:
+        members = set(ball)
+        if len(members) > self.exact_limit:
+            return self._fallback.choose(graph, arena, ball, connector, radius)
+        best_vertex = None
+        best_score = None
+        for s in sorted(members):
+            score = _largest_component(graph, members - {s})
+            if best_score is None or score < best_score:
+                best_score = score
+                best_vertex = s
+        return best_vertex
+
+
+def _largest_component(graph: ColoredGraph, members: set[int]) -> int:
+    seen: set[int] = set()
+    largest = 0
+    for start in members:
+        if start in seen:
+            continue
+        size = 0
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            u = queue.popleft()
+            size += 1
+            for w in graph.neighbors(u):
+                if w in members and w not in seen:
+                    seen.add(w)
+                    queue.append(w)
+        largest = max(largest, size)
+    return largest
+
+
+def forest_depths(graph: ColoredGraph) -> dict[int, int]:
+    """BFS depths in a spanning forest rooted at the smallest vertex of
+    each component — the labels :class:`TopmostStrategy` plays from."""
+    depths: dict[int, int] = {}
+    for root in graph.vertices():
+        if root in depths:
+            continue
+        depths[root] = 0
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            for w in graph.neighbors(u):
+                if w not in depths:
+                    depths[w] = depths[u] + 1
+                    queue.append(w)
+    return depths
+
+
+def default_strategy(graph: ColoredGraph) -> SplitterStrategy:
+    """Pick a sensible strategy for ``graph``: topmost play on forests,
+    centroid play otherwise."""
+    if graph.num_edges < graph.n:  # a forest has at most n-1 edges
+        if _is_forest(graph):
+            return TopmostStrategy(forest_depths(graph))
+    return CentroidStrategy()
+
+
+def _is_forest(graph: ColoredGraph) -> bool:
+    seen: set[int] = set()
+    for root in graph.vertices():
+        if root in seen:
+            continue
+        seen.add(root)
+        queue = deque([(root, -1)])
+        while queue:
+            u, parent = queue.popleft()
+            for w in graph.neighbors(u):
+                if w == parent:
+                    continue
+                if w in seen:
+                    return False
+                seen.add(w)
+                queue.append((w, u))
+    return True

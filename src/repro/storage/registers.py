@@ -1,0 +1,82 @@
+"""A tiny RAM register file (the computational model of Section 2/3).
+
+The paper's algorithms are stated for a Random Access Machine whose
+registers hold pairs ``(delta, payload)`` with ``delta`` in ``{-1, 0, 1}``.
+We model the register file as a growable Python list of such pairs so that
+the trie code below can follow the appendix pseudo-code line by line, and
+so benchmarks can report the exact number of registers in use (the space
+bound of Theorem 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: delta tag: the cell points to a child node's first register.
+CHILD = 1
+#: delta tag: the cell is a "gap" holding the next-larger domain tuple.
+GAP = 0
+#: delta tag: the cell is a node's trailing parent pointer.
+PARENT = -1
+
+
+class RegisterFile:
+    """A growable array of ``(delta, payload)`` registers.
+
+    Register 0 plays the role of the paper's ``R_0``: it holds the index of
+    the next free register.  :meth:`allocate` hands out blocks of
+    consecutive registers; :meth:`release_last` reclaims the most recently
+    allocated block (the paper's compaction in ``Cut`` always frees the
+    physically-last block after moving it).
+    """
+
+    __slots__ = ("_delta", "_payload")
+
+    def __init__(self) -> None:
+        self._delta: list[int] = [GAP]
+        self._payload: list[Any] = [1]  # R_0 <- next free register
+
+    # -- R_0 bookkeeping --------------------------------------------------
+    @property
+    def next_free(self) -> int:
+        return self._payload[0]
+
+    @next_free.setter
+    def next_free(self, value: int) -> None:
+        self._payload[0] = value
+
+    def allocate(self, count: int) -> int:
+        """Reserve ``count`` consecutive registers, returning the first index."""
+        base = self._payload[0]
+        needed = base + count
+        if needed > len(self._delta):
+            extra = needed - len(self._delta)
+            self._delta.extend([GAP] * extra)
+            self._payload.extend([None] * extra)
+        self._payload[0] = needed
+        return base
+
+    def release_last(self, count: int) -> None:
+        """Return the physically-last ``count`` registers to the free pool."""
+        self._payload[0] -= count
+
+    # -- cell access -------------------------------------------------------
+    def read(self, index: int) -> tuple[int, Any]:
+        """The (delta, payload) pair at ``index``."""
+        return self._delta[index], self._payload[index]
+
+    def write(self, index: int, delta: int, payload: Any) -> None:
+        """Overwrite the register at ``index``."""
+        self._delta[index] = delta
+        self._payload[index] = payload
+
+    @property
+    def used(self) -> int:
+        """Registers currently in use (the Theorem 3.1 space measure)."""
+        return self._payload[0]
+
+    def dump(self, start: int = 0, stop: int | None = None) -> list[tuple[int, Any]]:
+        """Snapshot of registers ``start..stop`` (for tests and Figure 1)."""
+        if stop is None:
+            stop = self.used
+        return [(self._delta[i], self._payload[i]) for i in range(start, stop)]

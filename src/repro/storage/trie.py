@@ -1,0 +1,530 @@
+"""The Storing Theorem trie (Theorem 3.1, Appendix Section 7).
+
+Stores a partial function ``f`` with ``Dom(f) ⊆ [n]^k`` as the paper's
+partial ``d``-ary tree ``T(f)`` of depth ``k*h``, where ``d = ⌈n^eps⌉`` and
+``h = ⌈1/eps⌉`` (so ``d^h >= n``).  Every node is a block of ``d+1``
+consecutive registers:
+
+* cell ``i < d`` holds ``(1, child)`` when the ``i``-th child exists —
+  ``child`` is the child's first register for inner levels, and the stored
+  *value* ``f(ā)`` at the deepest level;
+* cell ``i < d`` holds ``(0, succ)`` when it does not — ``succ`` is the
+  smallest domain tuple whose encoding exceeds the cell's prefix (``None``
+  if there is none).  This is the shortcut making *lookup-or-successor*
+  constant time;
+* the trailing register holds ``(-1, parent_cell)``, the back-pointer used
+  by the update procedures (``None`` for the root).
+
+Register ``R_0`` holds the next free register, as in the paper; arrays are
+compacted on removal by moving the physically-last block into the freed
+slot (procedure ``Cut``).
+
+Complexities for fixed ``k`` and ``eps`` (Theorem 3.1): lookup ``O(k*h)``
+= constant; insert/remove ``O(d*k*h)`` = ``O(n^eps)``; space
+``O(|Dom(f)| * d * k * h)`` = ``O(|Dom(f)| * n^eps)`` registers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from typing import Any
+
+from repro.storage.registers import CHILD, GAP, PARENT, RegisterFile
+
+#: Lookup outcome tags.
+HIT = "hit"
+MISS = "miss"
+
+
+class TrieStore:
+    """Theorem 3.1's data structure for one fixed key order.
+
+    Parameters
+    ----------
+    n:
+        Keys are ``k``-tuples over ``[0, n)``.
+    k:
+        Key arity (``>= 1``).
+    eps:
+        The space/update exponent; determines the branching factor
+        ``d = ⌈n^eps⌉`` and depth ``h = ⌈1/eps⌉`` per coordinate.
+    """
+
+    __slots__ = ("n", "k", "eps", "d", "h", "depth", "registers", "_root", "_size")
+
+    def __init__(self, n: int, k: int, eps: float) -> None:
+        if n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        if not 0 < eps <= 1:
+            raise ValueError(f"eps must be in (0, 1], got {eps}")
+        self.n = n
+        self.k = k
+        self.eps = eps
+        self.d = max(2, math.ceil(n ** eps)) if n > 1 else 1
+        self.h = max(1, math.ceil(1 / eps))
+        while self.d ** self.h < n:  # guard against float rounding in n**eps
+            self.h += 1
+        self.depth = k * self.h  # number of branching levels
+        self.registers = RegisterFile()
+        self._root = self._new_node(parent_cell=None)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # encoding (Algorithm 1, "Decomposition")
+    # ------------------------------------------------------------------
+    def _encode(self, key: tuple[int, ...]) -> list[int]:
+        """Base-``d`` digits of ``key``, most significant first per coordinate."""
+        if len(key) != self.k:
+            raise ValueError(f"expected a {self.k}-tuple, got {key!r}")
+        digits = [0] * self.depth
+        for i, coordinate in enumerate(key):
+            if not 0 <= coordinate < self.n:
+                raise ValueError(f"coordinate {coordinate} out of range [0, {self.n})")
+            value = coordinate
+            base = (i + 1) * self.h - 1
+            for j in range(self.h):
+                value, digit = divmod(value, self.d)
+                digits[base - j] = digit
+        return digits
+
+    def _decode(self, digits: list[int]) -> tuple[int, ...]:
+        key = []
+        for i in range(self.k):
+            value = 0
+            for j in range(i * self.h, (i + 1) * self.h):
+                value = value * self.d + digits[j]
+            key.append(value)
+        return tuple(key)
+
+    @staticmethod
+    def _increment(digits: list[int], d: int) -> list[int] | None:
+        """The digit string following ``digits`` in base ``d``; None on overflow."""
+        out = list(digits)
+        for i in range(len(out) - 1, -1, -1):
+            if out[i] + 1 < d:
+                out[i] += 1
+                return out
+            out[i] = 0
+        return None
+
+    # ------------------------------------------------------------------
+    # node allocation
+    # ------------------------------------------------------------------
+    def _new_node(self, parent_cell: int | None) -> int:
+        base = self.registers.allocate(self.d + 1)
+        for j in range(self.d):
+            self.registers.write(base + j, GAP, None)
+        self.registers.write(base + self.d, PARENT, parent_cell)
+        return base
+
+    # ------------------------------------------------------------------
+    # lookup (Algorithm 2, "Access")
+    # ------------------------------------------------------------------
+    def lookup(self, key: tuple[int, ...]) -> tuple[str, Any]:
+        """Constant-time lookup-or-successor.
+
+        Returns ``(HIT, value)`` if ``key`` is stored, else
+        ``(MISS, succ)`` where ``succ`` is the smallest stored key
+        ``> key`` (or ``None`` if none exists).
+        """
+        return self._lookup_digits(self._encode(key))
+
+    def _lookup_digits(self, digits: list[int]) -> tuple[str, Any]:
+        base = self._root
+        last = self.depth - 1
+        for t, digit in enumerate(digits):
+            delta, payload = self.registers.read(base + digit)
+            if delta == GAP:
+                return (MISS, payload)
+            if t == last:
+                return (HIT, payload)
+            base = payload
+        raise AssertionError("unreachable: trie walk fell through")  # pragma: no cover
+
+    def get(self, key: tuple[int, ...], default: Any = None) -> Any:
+        """dict.get semantics."""
+        status, payload = self.lookup(key)
+        return payload if status == HIT else default
+
+    def __contains__(self, key: tuple[int, ...]) -> bool:
+        return self.lookup(key)[0] == HIT
+
+    def successor(self, key: tuple[int, ...], strict: bool = False) -> tuple[int, ...] | None:
+        """Smallest stored key ``>= key`` (``> key`` when ``strict``).
+
+        Constant time: one or two trie walks (Section 7.2.2).
+        """
+        digits = self._encode(key)
+        if not strict:
+            status, payload = self._lookup_digits(digits)
+            if status == HIT:
+                return key
+            return payload
+        bumped = self._increment(digits, self.d)
+        if bumped is None:
+            return None
+        status, payload = self._lookup_digits(bumped)
+        if status == HIT:
+            return self._decode(bumped)
+        return payload
+
+    # ------------------------------------------------------------------
+    # predecessor (in-structure walk; O(d * k * h), used by updates)
+    # ------------------------------------------------------------------
+    def _predecessor(self, digits: list[int]) -> tuple[int, ...] | None:
+        """Largest stored key strictly below ``digits``.
+
+        The paper obtains this from the dual (reverse-order) structure in
+        constant time; inside update procedures an ``O(d*k*h)`` walk has the
+        same asymptotics as the update itself, so we stay self-contained.
+        """
+        base = self._root
+        last = self.depth - 1
+        # Walk down recording visited nodes while the path exists.
+        trail: list[tuple[int, int]] = []  # (node base, digit taken)
+        for t, digit in enumerate(digits):
+            trail.append((base, digit))
+            delta, payload = self.registers.read(base + digit)
+            if delta == GAP or t == last:
+                break
+            base = payload
+        # Climb the trail looking for a smaller branch to dive into.
+        for t in range(len(trail) - 1, -1, -1):
+            node, taken = trail[t]
+            for digit in range(taken - 1, -1, -1):
+                delta, payload = self.registers.read(node + digit)
+                if delta == CHILD:
+                    return self._rightmost(payload, t, prefix=self._trail_digits(trail, t) + [digit])
+        return None
+
+    def _trail_digits(self, trail: list[tuple[int, int]], t: int) -> list[int]:
+        return [digit for (_, digit) in trail[:t]]
+
+    def _rightmost(self, payload: Any, level: int, prefix: list[int]) -> tuple[int, ...]:
+        """Descend to the largest key under the child reached at ``level``."""
+        digits = list(prefix)
+        last = self.depth - 1
+        t = level
+        while t < last:
+            base = payload
+            for digit in range(self.d - 1, -1, -1):
+                delta, cell_payload = self.registers.read(base + digit)
+                if delta == CHILD:
+                    digits.append(digit)
+                    payload = cell_payload
+                    break
+            else:  # pragma: no cover - a live inner node always has a child
+                raise AssertionError("inner node with no children")
+            t += 1
+        return self._decode(digits)
+
+    def predecessor(self, key: tuple[int, ...], strict: bool = True) -> tuple[int, ...] | None:
+        """Largest stored key ``< key`` (``<= key`` when ``strict=False``).
+
+        Note: ``O(d*k*h)``, not constant — use
+        :class:`~repro.storage.function_store.StoredFunction` for the
+        paper's constant-time predecessor via the dual structure.
+        """
+        if not strict and key in self:
+            return key
+        return self._predecessor(self._encode(key))
+
+    # ------------------------------------------------------------------
+    # insertion (Algorithms 4/5, "Add"/"Insert", plus "Clean")
+    # ------------------------------------------------------------------
+    def insert(self, key: tuple[int, ...], value: Any) -> bool:
+        """Set ``f(key) = value``.  Returns True iff ``key`` is new."""
+        digits = self._encode(key)
+        status, payload = self._lookup_digits(digits)
+        if status == HIT:
+            self._overwrite(digits, value)
+            return False
+        succ = payload  # the old successor of key, i.e. ā_>
+        pred = self._predecessor(digits)  # ā_<
+        self._insert_path(digits, value)
+        self._fill_between(None if pred is None else self._encode(pred), digits, key)
+        self._fill_between(digits, None if succ is None else self._encode(succ), succ)
+        self._size += 1
+        return True
+
+    def _overwrite(self, digits: list[int], value: Any) -> None:
+        base = self._root
+        for digit in digits[:-1]:
+            base = self.registers.read(base + digit)[1]
+        self.registers.write(base + digits[-1], CHILD, value)
+
+    def _insert_path(self, digits: list[int], value: Any) -> None:
+        base = self._root
+        last = self.depth - 1
+        for t, digit in enumerate(digits):
+            cell = base + digit
+            if t == last:
+                self.registers.write(cell, CHILD, value)
+                return
+            delta, payload = self.registers.read(cell)
+            if delta == GAP:
+                payload = self._new_node(parent_cell=cell)
+                self.registers.write(cell, CHILD, payload)
+            base = payload
+
+    # ------------------------------------------------------------------
+    # removal (Algorithms 10/12, "Remove"/"Cut")
+    # ------------------------------------------------------------------
+    def remove(self, key: tuple[int, ...]) -> Any:
+        """Delete ``key``; returns its value.  Raises KeyError if absent."""
+        digits = self._encode(key)
+        status, old_value = self._lookup_digits(digits)
+        if status == MISS:
+            raise KeyError(key)
+        succ = self.successor(key, strict=True)
+        pred = self._predecessor(digits)
+        succ_digits = None if succ is None else self._encode(succ)
+        pred_digits = None if pred is None else self._encode(pred)
+        # Clear the leaf cell, then compact empty arrays bottom-up.
+        leaf_node = self._node_on_path(digits, self.depth - 1)
+        self.registers.write(leaf_node + digits[-1], GAP, succ)
+        self._cut(leaf_node, self.depth - 1, succ)
+        self._fill_between(pred_digits, succ_digits, succ)
+        self._size -= 1
+        return old_value
+
+    def _node_on_path(self, digits: list[int], level: int) -> int:
+        base = self._root
+        for t in range(level):
+            base = self.registers.read(base + digits[t])[1]
+        return base
+
+    def _cut(self, node: int, node_depth: int, succ: tuple[int, ...] | None) -> None:
+        """Free all-gap arrays bottom-up, compacting the register file."""
+        while node_depth > 0:
+            if any(
+                self.registers.read(node + j)[0] == CHILD for j in range(self.d)
+            ):
+                return
+            parent_cell = self.registers.read(node + self.d)[1]
+            self.registers.write(parent_cell, GAP, succ)
+            parent_cell = self._free_array(node, parent_cell)
+            node = self._array_base(parent_cell)
+            node_depth -= 1
+
+    def _free_array(self, node: int, parent_cell: int) -> int:
+        """Release array ``node``; returns ``parent_cell`` (remapped if moved)."""
+        width = self.d + 1
+        last = self.registers.next_free - width
+        if last != node:
+            moved_depth = self._depth_of(last)
+            # copy the physically-last array into the freed slot
+            for j in range(width):
+                delta, payload = self.registers.read(last + j)
+                self.registers.write(node + j, delta, payload)
+            # fix the moved array's parent -> child pointer
+            moved_parent_cell = self.registers.read(node + self.d)[1]
+            self.registers.write(moved_parent_cell, CHILD, node)
+            # fix the moved array's children -> parent back-pointers
+            if moved_depth < self.depth - 1:
+                for j in range(self.d):
+                    delta, payload = self.registers.read(node + j)
+                    if delta == CHILD:
+                        self.registers.write(payload + self.d, PARENT, node + j)
+            if last <= parent_cell < last + width:
+                parent_cell = node + (parent_cell - last)
+        self.registers.release_last(width)
+        return parent_cell
+
+    def _depth_of(self, node: int) -> int:
+        """Depth of array ``node`` via its parent chain (O(d * k * h))."""
+        depth = 0
+        cell = self.registers.read(node + self.d)[1]
+        while cell is not None:
+            depth += 1
+            base = self._array_base(cell)
+            cell = self.registers.read(base + self.d)[1]
+        return depth
+
+    def _array_base(self, cell: int) -> int:
+        """The base register of the array containing register ``cell``."""
+        index = cell
+        while self.registers.read(index)[0] != PARENT:
+            index += 1
+        return index - self.d
+
+    # ------------------------------------------------------------------
+    # gap maintenance (Algorithms 6-9, "Clean"/"Fill*")
+    # ------------------------------------------------------------------
+    def _fill_between(
+        self,
+        lo: list[int] | None,
+        hi: list[int] | None,
+        payload: tuple[int, ...] | None,
+    ) -> None:
+        """Point every gap cell strictly between paths ``lo`` and ``hi`` at
+        ``payload``.  ``lo=None`` means "from the very beginning", ``hi=None``
+        "to the very end"; both paths, when given, must exist in the trie."""
+        if lo is None and hi is None:
+            for j in range(self.d):
+                if self.registers.read(self._root + j)[0] == GAP:
+                    self.registers.write(self._root + j, GAP, payload)
+            return
+        if lo is None:
+            self._fill_left(self._root, 0, hi, payload)
+            return
+        if hi is None:
+            self._fill_right(self._root, 0, lo, payload)
+            return
+        base = self._root
+        t = 0
+        while lo[t] == hi[t]:
+            base = self.registers.read(base + lo[t])[1]
+            t += 1
+        for digit in range(lo[t] + 1, hi[t]):
+            if self.registers.read(base + digit)[0] == GAP:
+                self.registers.write(base + digit, GAP, payload)
+        if t < self.depth - 1:
+            lo_child = self.registers.read(base + lo[t])[1]
+            self._fill_right(lo_child, t + 1, lo, payload)
+            hi_child = self.registers.read(base + hi[t])[1]
+            self._fill_left(hi_child, t + 1, hi, payload)
+
+    def _fill_left(self, base: int, t: int, path: list[int], payload: Any) -> None:
+        """Gap cells lexicographically before ``path`` within its subtree."""
+        while True:
+            digit = path[t]
+            for j in range(digit):
+                if self.registers.read(base + j)[0] == GAP:
+                    self.registers.write(base + j, GAP, payload)
+            if t == self.depth - 1:
+                return
+            base = self.registers.read(base + digit)[1]
+            t += 1
+
+    def _fill_right(self, base: int, t: int, path: list[int], payload: Any) -> None:
+        """Gap cells lexicographically after ``path`` within its subtree."""
+        while True:
+            digit = path[t]
+            for j in range(digit + 1, self.d):
+                if self.registers.read(base + j)[0] == GAP:
+                    self.registers.write(base + j, GAP, payload)
+            if t == self.depth - 1:
+                return
+            base = self.registers.read(base + digit)[1]
+            t += 1
+
+    # ------------------------------------------------------------------
+    # iteration / introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def min_key(self) -> tuple[int, ...] | None:
+        """The smallest stored key (None when empty)."""
+        return self.successor(tuple([0] * self.k))
+
+    def items(self) -> Iterator[tuple[tuple[int, ...], Any]]:
+        """All (key, value) pairs in lexicographic key order.
+
+        Constant delay per item: each step is one successor walk.
+        """
+        key = self.min_key()
+        while key is not None:
+            status, value = self.lookup(key)
+            assert status == HIT
+            yield key, value
+            key = self.successor(key, strict=True)
+
+    def keys(self) -> Iterator[tuple[int, ...]]:
+        """Stored keys in ascending order."""
+        for key, _ in self.items():
+            yield key
+
+    @property
+    def registers_used(self) -> int:
+        """Space in registers (Theorem 3.1 bounds this by c * |Dom| * n^eps)."""
+        return self.registers.used
+
+    # ------------------------------------------------------------------
+    # invariants (test support)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Exhaustively verify the structure (tests only; linear time).
+
+        Checks: (1) parent back-pointers are consistent; (2) every gap cell
+        points to the true successor of its prefix; (3) the register count
+        equals (#arrays)*(d+1)+1; (4) every stored key is reachable.
+        """
+        keys = sorted(self._collect_keys())
+        arrays = self._count_arrays()
+        expected = 1 + arrays * (self.d + 1)
+        if self.registers.used != expected:
+            raise AssertionError(
+                f"register leak: used={self.registers.used}, expected={expected}"
+            )
+        if len(keys) != self._size:
+            raise AssertionError(f"size mismatch: {len(keys)} keys vs size={self._size}")
+        self._check_node(self._root, [], keys)
+
+    def _collect_keys(self) -> list[tuple[int, ...]]:
+        out = []
+
+        def walk(base: int, prefix: list[int], t: int) -> None:
+            for digit in range(self.d):
+                delta, payload = self.registers.read(base + digit)
+                if delta != CHILD:
+                    continue
+                if t == self.depth - 1:
+                    out.append(self._decode(prefix + [digit]))
+                else:
+                    walk(payload, prefix + [digit], t + 1)
+
+        walk(self._root, [], 0)
+        return out
+
+    def _count_arrays(self) -> int:
+        count = [0]
+
+        def walk(base: int, t: int) -> None:
+            count[0] += 1
+            if t == self.depth - 1:
+                return
+            for digit in range(self.d):
+                delta, payload = self.registers.read(base + digit)
+                if delta == CHILD:
+                    walk(payload, t + 1)
+
+        walk(self._root, 0)
+        return count[0]
+
+    def _check_node(self, base: int, prefix: list[int], keys: list[tuple[int, ...]]) -> None:
+        import bisect
+
+        for digit in range(self.d):
+            delta, payload = self.registers.read(base + digit)
+            cell_prefix = prefix + [digit]
+            if delta == CHILD:
+                if len(cell_prefix) < self.depth:
+                    child_parent = self.registers.read(payload + self.d)
+                    if child_parent != (PARENT, base + digit):
+                        raise AssertionError(
+                            f"bad parent pointer at node {payload}: {child_parent}"
+                        )
+                    self._check_node(payload, cell_prefix, keys)
+            else:
+                # expected successor: smallest key whose digits exceed cell_prefix
+                bound = self._prefix_upper_key(cell_prefix)
+                idx = bisect.bisect_left(keys, bound)
+                expected = keys[idx] if idx < len(keys) else None
+                if payload != expected:
+                    raise AssertionError(
+                        f"gap cell {cell_prefix} points to {payload}, expected {expected}"
+                    )
+
+    def _prefix_upper_key(self, prefix: list[int]) -> tuple[int, ...]:
+        """Smallest key (as a tuple) whose digit string is > every string
+        with the given prefix — i.e. decode(prefix+1 padded with zeros)."""
+        bumped = self._increment(prefix, self.d)
+        if bumped is None:
+            return tuple([self.n] * self.k)  # larger than every valid key
+        padded = bumped + [0] * (self.depth - len(bumped))
+        return self._decode(padded)

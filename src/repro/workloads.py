@@ -1,0 +1,92 @@
+"""Named query workloads for tests, examples and benchmarks.
+
+Each workload is a query with metadata: arity, whether it is in the
+indexable fragment, which answering-phase cases it exercises, and a
+rough selectivity class.  Tests and benchmarks draw from this registry
+so "the queries we evaluate" is a single reviewable list (the analogue
+of a benchmark suite's query appendix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark query with its metadata."""
+
+    name: str
+    text: str
+    arity: int
+    indexable: bool
+    exercises: tuple[str, ...]  # e.g. ("case-near", "case-far", "sentence")
+    selectivity: str  # "sparse" (≈ O(n) answers) or "dense" (≈ O(n^2))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: {self.text}"
+
+
+WORKLOADS: tuple[Workload, ...] = (
+    Workload("edge", "E(x, y)", 2, True, ("case-near",), "sparse"),
+    Workload(
+        "two-hop", "exists z. E(x, z) & E(z, y)", 2, True, ("case-near", "guards"),
+        "sparse",
+    ),
+    Workload("ball-2", "dist(x, y) <= 2", 2, True, ("case-near",), "sparse"),
+    Workload(
+        "far-blue", "dist(x, y) > 2 & Blue(y)", 2, True, ("case-far", "skip"),
+        "dense",
+    ),
+    Workload(
+        "colored-far", "Red(x) & Blue(y) & dist(x, y) > 1", 2, True,
+        ("case-far", "skip"), "dense",
+    ),
+    Workload(
+        "guarded-forall", "forall z. (E(x, z) -> dist(z, y) <= 2)", 2, True,
+        ("case-near", "universal-guards"), "dense",
+    ),
+    Workload(
+        "mixed-dnf", "(Red(x) & E(x, y)) | (Blue(x) & dist(x, y) > 1)", 2, True,
+        ("case-near", "case-far", "dnf"), "dense",
+    ),
+    Workload(
+        "non-edge-close", "~E(x, y) & dist(x, y) <= 2", 2, True,
+        ("case-near", "negation"), "sparse",
+    ),
+    Workload(
+        "triangle-free-pair", "x = y | E(x, y)", 2, True, ("case-near",), "sparse"
+    ),
+    Workload(
+        "path-3", "E(x, y) & E(y, z)", 3, True, ("case-near", "projection"),
+        "sparse",
+    ),
+    Workload(
+        "far-witness-3", "E(x, y) & dist(x, z) > 2 & Blue(z)", 3, True,
+        ("case-far", "prefix-scan"), "dense",
+    ),
+    Workload(
+        "red-hub", "exists y. E(x, y) & Blue(y)", 1, True, ("unary",), "sparse"
+    ),
+    Workload(
+        "unguarded", "exists z. Blue(z) & dist(z, x) > 2", 1, False,
+        ("fallback",), "dense",
+    ),
+)
+
+
+def by_name(name: str) -> Workload:
+    """Look a workload up by its name (KeyError when unknown)."""
+    for workload in WORKLOADS:
+        if workload.name == name:
+            return workload
+    raise KeyError(f"unknown workload {name!r}")
+
+
+def indexable(arity: int | None = None) -> list[Workload]:
+    """The in-fragment workloads, optionally filtered by arity."""
+    return [
+        w
+        for w in WORKLOADS
+        if w.indexable and (arity is None or w.arity == arity)
+    ]

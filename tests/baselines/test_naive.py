@@ -1,0 +1,44 @@
+"""Unit tests for the naive baseline index."""
+
+from repro.baselines.bfs_oracle import bfs_distance_at_most
+from repro.baselines.naive import NaiveIndex
+from repro.graphs.generators import path, random_tree
+from repro.logic.parser import parse_formula
+from repro.logic.syntax import Var
+
+x, y = Var("x"), Var("y")
+
+
+def test_solutions_sorted():
+    g = random_tree(25, seed=3)
+    index = NaiveIndex(g, parse_formula("E(x, y)"), (x, y))
+    assert index.solutions == sorted(index.solutions)
+
+
+def test_next_solution_semantics():
+    g = path(5, palette=())
+    index = NaiveIndex(g, parse_formula("E(x, y)"), (x, y))
+    assert index.next_solution((0, 0)) == (0, 1)
+    assert index.next_solution((0, 1)) == (0, 1)
+    assert index.next_solution((4, 4)) is None
+
+
+def test_test_membership():
+    g = path(5, palette=())
+    index = NaiveIndex(g, parse_formula("E(x, y)"), (x, y))
+    assert index.test((1, 2))
+    assert not index.test((0, 2))
+
+
+def test_len_and_enumerate_agree():
+    g = random_tree(20, seed=1)
+    index = NaiveIndex(g, parse_formula("dist(x, y) <= 2"), (x, y))
+    assert len(index) == len(list(index.enumerate()))
+
+
+def test_bfs_oracle():
+    g = path(6, palette=())
+    assert bfs_distance_at_most(g, 0, 3, 3)
+    assert not bfs_distance_at_most(g, 0, 3, 2)
+    assert bfs_distance_at_most(g, 2, 2, 0)
+    assert not bfs_distance_at_most(g, 0, 1, 0)

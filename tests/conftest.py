@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import grid, random_planar_like_graph, random_tree
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(params=["tree", "grid", "planar"])
+def sparse_graph(request):
+    """A small graph from each canonical nowhere dense family."""
+    if request.param == "tree":
+        return random_tree(60, seed=11)
+    if request.param == "grid":
+        return grid(8, 8, seed=11)
+    return random_planar_like_graph(60, seed=11)

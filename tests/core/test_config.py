@@ -1,0 +1,38 @@
+"""Unit tests for EngineConfig."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import DEFAULT_CONFIG, EngineConfig
+
+
+def test_defaults_are_sane():
+    assert 0 < DEFAULT_CONFIG.eps <= 1
+    assert DEFAULT_CONFIG.dist_naive_threshold >= 2
+    assert DEFAULT_CONFIG.bag_naive_threshold >= 2
+    assert DEFAULT_CONFIG.dist_max_depth >= 1
+    assert DEFAULT_CONFIG.bag_max_depth >= 1
+    assert DEFAULT_CONFIG.precompute_far is True
+
+
+def test_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        DEFAULT_CONFIG.eps = 0.9
+
+
+def test_replace_produces_new_config():
+    tweaked = dataclasses.replace(DEFAULT_CONFIG, eps=0.25)
+    assert tweaked.eps == 0.25
+    assert DEFAULT_CONFIG.eps != 0.25
+    assert tweaked.bag_naive_threshold == DEFAULT_CONFIG.bag_naive_threshold
+
+
+def test_custom_config_flows_through_engine():
+    from repro.core.engine import build_index
+    from repro.graphs.generators import random_tree
+
+    g = random_tree(25, seed=1)
+    config = EngineConfig(bag_naive_threshold=5, dist_naive_threshold=5)
+    index = build_index(g, "dist(x, y) <= 2", config=config)
+    assert index._impl.config is config

@@ -1,0 +1,104 @@
+"""Unit tests for the Prop 4.2 distance index."""
+
+import random
+
+import pytest
+
+from repro.baselines.bfs_oracle import bfs_distance_at_most
+from repro.core.distance_index import DistanceIndex
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.generators import grid, path, random_tree
+
+
+@pytest.mark.parametrize("radius", [0, 1, 2, 3])
+def test_matches_bfs_oracle(sparse_graph, radius):
+    g = sparse_graph
+    index = DistanceIndex(g, radius, naive_threshold=16)
+    rng = random.Random(radius)
+    for _ in range(250):
+        a, b = rng.randrange(g.n), rng.randrange(g.n)
+        assert index.test(a, b) == bfs_distance_at_most(g, a, b, radius)
+
+
+def test_exhaustive_on_small_path():
+    g = path(12, palette=())
+    for r in (0, 1, 2, 4):
+        index = DistanceIndex(g, r, naive_threshold=4)
+        for a in g.vertices():
+            for b in g.vertices():
+                assert index.test(a, b) == (abs(a - b) <= r)
+
+
+def test_reflexive_regardless_of_radius():
+    g = grid(4, 4)
+    index = DistanceIndex(g, 0)
+    assert all(index.test(v, v) for v in g.vertices())
+
+
+def test_disconnected_components_far():
+    g = ColoredGraph(6, [(0, 1), (3, 4)])
+    index = DistanceIndex(g, 3, naive_threshold=2)
+    assert not index.test(0, 3)
+    assert index.test(0, 1)
+
+
+def test_edgeless_graph():
+    g = ColoredGraph(5)
+    index = DistanceIndex(g, 2)
+    assert index.test(2, 2)
+    assert not index.test(0, 1)
+
+
+def test_small_graph_uses_naive_mode():
+    g = path(10, palette=())
+    index = DistanceIndex(g, 2, naive_threshold=50)
+    assert index._mode == "naive"
+    assert index.recursion_depth == 0
+
+
+def test_large_graph_uses_cover_mode():
+    g = grid(10, 10)
+    index = DistanceIndex(g, 2, naive_threshold=16)
+    assert index._mode == "cover"
+    assert index.recursion_depth >= 1
+
+
+def test_recursion_depth_capped():
+    g = grid(12, 12)
+    index = DistanceIndex(g, 2, naive_threshold=8, max_depth=2)
+    assert index.recursion_depth <= 2
+
+
+def test_negative_radius_rejected():
+    with pytest.raises(ValueError):
+        DistanceIndex(path(3, palette=()), -1)
+
+
+def test_index_size_reported():
+    g = random_tree(100, seed=1)
+    index = DistanceIndex(g, 2, naive_threshold=16)
+    assert index.index_size() > 0
+
+
+@pytest.mark.parametrize("radius", [1, 2, 3, 4])
+def test_graded_distance_matches_bfs(sparse_graph, radius):
+    """The graded refinement: exact distances up to the radius."""
+    from repro.graphs.neighborhoods import distance as bfs_distance
+
+    g = sparse_graph
+    index = DistanceIndex(g, radius, naive_threshold=16)
+    rng = random.Random(radius + 100)
+    for _ in range(200):
+        a, b = rng.randrange(g.n), rng.randrange(g.n)
+        truth = bfs_distance(g, a, b, cutoff=radius)
+        expected = truth if truth <= radius else None
+        assert index.distance(a, b) == expected, (a, b, radius)
+
+
+def test_graded_distance_naive_mode():
+    g = path(9, palette=())
+    index = DistanceIndex(g, 3, naive_threshold=50)
+    assert index.distance(0, 2) == 2
+    assert index.distance(0, 3) == 3
+    assert index.distance(0, 4) is None
+    assert index.distance(5, 5) == 0

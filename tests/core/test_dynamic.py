@@ -1,0 +1,79 @@
+"""Unit tests for the dynamic unary index (color updates)."""
+
+import random
+
+import pytest
+
+from repro.core.dynamic import DynamicUnaryIndex
+from repro.core.normal_form import DecompositionError
+from repro.graphs.generators import grid, path, random_tree
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import evaluate
+from repro.logic.syntax import Var
+
+x = Var("x")
+
+QUERIES = [
+    "Hot(x)",
+    "exists y. E(x, y) & Hot(y)",
+    "exists y. dist(x, y) <= 2 & Hot(y) & ~Cold(y)",
+    "Hot(x) | (exists y. E(x, y) & Cold(y))",
+]
+
+
+def brute(graph, phi):
+    return [v for v in graph.vertices() if evaluate(graph, phi, {x: v})]
+
+
+def test_docstring_example():
+    g = path(8, palette=())
+    index = DynamicUnaryIndex(g, parse_formula("exists y. E(x, y) & Hot(y)"), x)
+    assert index.solutions() == []
+    index.add_color("Hot", 4)
+    assert index.solutions() == [3, 5]
+    index.remove_color("Hot", 4)
+    assert index.solutions() == []
+
+
+@pytest.mark.parametrize("text", QUERIES)
+def test_random_update_sequences_match_brute_force(text):
+    rng = random.Random(hash(text) & 0xFFFF)
+    g = random_tree(40, seed=6, palette=())
+    phi = parse_formula(text)
+    index = DynamicUnaryIndex(g, phi, x)
+    for _ in range(60):
+        color = rng.choice(["Hot", "Cold"])
+        v = rng.randrange(g.n)
+        if rng.random() < 0.5:
+            index.add_color(color, v)
+        else:
+            index.remove_color(color, v)
+        assert index.solutions() == brute(g, phi), text
+
+
+def test_queries_after_updates():
+    g = grid(5, 5, palette=())
+    index = DynamicUnaryIndex(g, parse_formula("exists y. E(x, y) & Hot(y)"), x)
+    index.add_color("Hot", 12)  # grid center
+    assert index.test(7) and index.test(11) and index.test(13) and index.test(17)
+    assert not index.test(12)  # the center itself has no hot *neighbor*
+    assert index.next_solution(0) == 7
+    assert index.next_solution(14) == 17
+    assert len(index) == 4
+
+
+def test_unguarded_query_rejected():
+    g = path(5, palette=())
+    with pytest.raises(DecompositionError):
+        DynamicUnaryIndex(g, parse_formula("exists y. Hot(y)"), x)
+
+
+def test_idempotent_updates():
+    g = path(6, palette=())
+    index = DynamicUnaryIndex(g, parse_formula("Hot(x)"), x)
+    index.add_color("Hot", 2)
+    index.add_color("Hot", 2)
+    assert index.solutions() == [2]
+    index.remove_color("Hot", 2)
+    index.remove_color("Hot", 2)
+    assert index.solutions() == []

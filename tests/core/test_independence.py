@@ -1,0 +1,122 @@
+"""Unit tests for independence-sentence evaluation (Section 5.1.2's ξ)."""
+
+import random
+
+from repro.core.independence import (
+    has_scattered_witnesses,
+    match_independence_sentence,
+)
+from repro.core.unary import model_check
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.generators import path, random_tree
+from repro.graphs.neighborhoods import distance
+from repro.logic.builders import independence_sentence
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import evaluate
+from repro.logic.syntax import ColorAtom, Var
+
+z = Var("z")
+
+
+def brute_scattered(graph, targets, count, separation):
+    """Exponential reference implementation."""
+    targets = sorted(targets)
+
+    def search(chosen, start):
+        if len(chosen) == count:
+            return True
+        for i in range(start, len(targets)):
+            candidate = targets[i]
+            if all(
+                distance(graph, candidate, c, cutoff=separation) > separation
+                for c in chosen
+            ):
+                if search(chosen + [candidate], i + 1):
+                    return True
+        return False
+
+    return search([], 0)
+
+
+class TestScatteredWitnesses:
+    def test_on_path(self):
+        g = path(10, palette=())
+        targets = [0, 3, 6, 9]
+        assert has_scattered_witnesses(g, targets, 4, 2)
+        assert not has_scattered_witnesses(g, targets, 4, 3)
+        assert has_scattered_witnesses(g, targets, 2, 5)
+
+    def test_trivial_cases(self):
+        g = path(5, palette=())
+        assert has_scattered_witnesses(g, [], 0, 3)
+        assert not has_scattered_witnesses(g, [], 1, 3)
+        assert has_scattered_witnesses(g, [2], 1, 3)
+        assert has_scattered_witnesses(g, [1, 2], 2, 0)
+
+    def test_greedy_insufficient_but_exact_finds(self):
+        # greedy picks 0 first, killing 1 and 2; the exact search must
+        # still find the {1, 4} pair when asked for 2 at separation 2
+        g = path(6, palette=())
+        targets = [0, 1, 4]
+        assert has_scattered_witnesses(g, targets, 2, 2)
+
+    def test_matches_brute_force_randomized(self):
+        rng = random.Random(5)
+        for seed in range(8):
+            g = random_tree(25, seed=seed, palette=())
+            targets = [v for v in g.vertices() if rng.random() < 0.4]
+            for count in (1, 2, 3):
+                for separation in (1, 2, 4):
+                    expected = brute_scattered(g, targets, count, separation)
+                    got = has_scattered_witnesses(g, targets, count, separation)
+                    assert got == expected, (seed, count, separation)
+
+
+class TestPatternMatching:
+    def test_matches_builder_output(self):
+        phi = independence_sentence(3, 4, ColorAtom("Red", z), z)
+        matched = match_independence_sentence(phi)
+        assert matched is not None
+        count, separation, psi, var = matched
+        assert count == 3 and separation == 4
+        assert psi == ColorAtom("Red", var)
+
+    def test_matches_single_witness(self):
+        phi = parse_formula("exists z. Red(z)")
+        matched = match_independence_sentence(phi)
+        assert matched is not None
+        assert matched[0] == 1
+
+    def test_rejects_mixed_witness_formulas(self):
+        phi = parse_formula("exists u, v. dist(u, v) > 3 & Red(u) & Blue(v)")
+        assert match_independence_sentence(phi) is None
+
+    def test_rejects_missing_separation(self):
+        phi = parse_formula("exists u, v. Red(u) & Red(v)")
+        assert match_independence_sentence(phi) is None
+
+    def test_rejects_cross_witness_conjuncts(self):
+        phi = parse_formula("exists u, v. dist(u, v) > 3 & E(u, v)")
+        assert match_independence_sentence(phi) is None
+
+
+class TestModelCheckIntegration:
+    def test_independence_sentences_evaluated_correctly(self):
+        rng = random.Random(9)
+        for seed in range(4):
+            g = random_tree(30, seed=seed, palette=())
+            g.set_color("Red", [v for v in g.vertices() if rng.random() < 0.3])
+            for count in (2, 3):
+                for separation in (2, 3):
+                    phi = independence_sentence(count, separation, ColorAtom("Red", z), z)
+                    assert model_check(g, phi) == evaluate(g, phi, {}), (
+                        seed,
+                        count,
+                        separation,
+                    )
+
+    def test_large_graph_stays_fast(self):
+        # naive evaluation would be n^3; the routine must finish instantly
+        g = random_tree(400, seed=2)
+        phi = independence_sentence(3, 2, ColorAtom("Red", z), z)
+        assert isinstance(model_check(g, phi), bool)

@@ -1,0 +1,45 @@
+"""Unit tests for the memoized bag-local evaluator."""
+
+from repro.core.local_eval import LocalEvaluator
+from repro.graphs.generators import path, random_planar_like_graph
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import evaluate
+from repro.logic.syntax import Var
+
+x, y = Var("x"), Var("y")
+
+
+def test_test_matches_semantics():
+    g = random_planar_like_graph(20, seed=1)
+    ev = LocalEvaluator(g)
+    phi = parse_formula("exists z. E(x, z) & E(z, y)")
+    for a in range(0, g.n, 3):
+        for b in range(0, g.n, 4):
+            expected = evaluate(g, phi, {x: a, y: b})
+            assert ev.test(phi, (x, y), (a, b)) == expected
+
+
+def test_column_is_sorted_and_complete():
+    g = path(10, palette=())
+    ev = LocalEvaluator(g)
+    phi = parse_formula("E(x, y)")
+    col = ev.column(phi, (x,), (4,), y)
+    assert col == [3, 5]
+
+
+def test_first_at_least():
+    g = path(10, palette=())
+    ev = LocalEvaluator(g)
+    phi = parse_formula("E(x, y)")
+    assert ev.first_at_least(phi, (x,), (4,), y, 0) == 3
+    assert ev.first_at_least(phi, (x,), (4,), y, 4) == 5
+    assert ev.first_at_least(phi, (x,), (4,), y, 6) is None
+
+
+def test_memoization_returns_same_object():
+    g = path(6, palette=())
+    ev = LocalEvaluator(g)
+    phi = parse_formula("E(x, y)")
+    first = ev.column(phi, (x,), (2,), y)
+    second = ev.column(phi, (x,), (2,), y)
+    assert first is second

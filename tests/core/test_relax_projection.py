@@ -1,0 +1,75 @@
+"""Unit tests for the projection relaxation (the arity >= 3 fallback)."""
+
+import pytest
+
+from repro.core.distance_types import DistanceType
+from repro.core.normal_form import decompose, relax_projection
+from repro.logic.parser import parse_formula
+from repro.logic.syntax import Top, Var
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def test_relaxed_arity_drops_by_one():
+    d = decompose(parse_formula("E(x, y) & dist(x, z) > 2 & Blue(z)"), (x, y, z))
+    relaxed = relax_projection(d)
+    assert relaxed.arity == 2
+    assert relaxed.free_order == (x, y)
+    assert relaxed.radius == d.radius
+
+
+def test_last_position_locals_are_dropped():
+    d = decompose(parse_formula("Red(x) & Blue(y)"), (x, y))
+    relaxed = relax_projection(d)
+    # every remaining local touches only position 0
+    for alternatives in relaxed.per_type.values():
+        for alt in alternatives:
+            for positions, psi in alt.locals:
+                assert positions == frozenset({0})
+                assert "Red" in repr(psi)
+
+
+def test_types_merge_under_restriction():
+    d = decompose(parse_formula("E(x, y) & Blue(z)"), (x, y, z))
+    relaxed = relax_projection(d)
+    # 8 ternary types restrict onto the 2 binary types
+    assert set(relaxed.per_type) == {
+        DistanceType(2),
+        DistanceType(2, frozenset({frozenset({0, 1})})),
+    }
+
+
+def test_relaxation_is_a_weakening():
+    """Every alternative of the original decomposition leaves a (weaker)
+    trace: its prefix locals appear in some relaxed alternative."""
+    d = decompose(parse_formula("dist(x, y) > 2 & Blue(y)"), (x, y))
+    relaxed = relax_projection(d)
+    for tau, alternatives in d.per_type.items():
+        restricted = tau.restrict(frozenset({0}))
+        relaxed_alts = relaxed.per_type[restricted]
+        for alt in alternatives:
+            prefix_locals = tuple(
+                (p, psi) for p, psi in alt.locals if 1 not in p
+            )
+            assert any(r.locals == prefix_locals for r in relaxed_alts), tau
+
+
+def test_arity_one_rejected():
+    d = decompose(parse_formula("Red(x)"), (x,))
+    with pytest.raises(ValueError):
+        relax_projection(d)
+
+
+def test_sentences_survive():
+    d = decompose(
+        parse_formula("E(x, y) & (exists u, v. dist(u, v) > 3 & Red(u) & Red(v))"),
+        (x, y),
+    )
+    relaxed = relax_projection(d)
+    kept = [
+        alt.sentence
+        for alts in relaxed.per_type.values()
+        for alt in alts
+        if not isinstance(alt.sentence, Top)
+    ]
+    assert kept  # the independence sentence is still there

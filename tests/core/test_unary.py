@@ -1,0 +1,84 @@
+"""Unit tests for unary queries and sentences (Theorem 5.3's role)."""
+
+from repro.core.unary import UnaryIndex, model_check, unary_solutions
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.generators import path, random_planar_like_graph, random_tree
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import evaluate
+from repro.logic.syntax import Var
+
+x = Var("x")
+
+UNARY_QUERIES = [
+    "Red(x)",
+    "exists y. E(x, y) & Blue(y)",
+    "forall y. (E(x, y) -> Blue(y))",
+    "exists y. dist(x, y) <= 2 & Red(y)",
+    "~Red(x) & (exists y. E(x, y))",
+]
+
+
+def brute(graph, phi):
+    return [v for v in graph.vertices() if evaluate(graph, phi, {x: v})]
+
+
+def test_unary_solutions_match_brute_force():
+    for seed in (0, 1):
+        g = random_planar_like_graph(50, seed=seed)
+        for text in UNARY_QUERIES:
+            phi = parse_formula(text)
+            assert unary_solutions(g, phi, x) == brute(g, phi), text
+
+
+def test_unary_solutions_on_small_bags():
+    g = random_tree(60, seed=2)
+    phi = parse_formula("exists y. E(x, y) & Blue(y)")
+    got = unary_solutions(g, phi, x, bag_threshold=4)
+    assert got == brute(g, phi)
+
+
+def test_unary_index_next_solution():
+    g = path(10, palette=())
+    g.set_color("Red", [2, 5, 9])
+    index = UnaryIndex(g, parse_formula("Red(x)"), x)
+    assert index.next_solution(0) == 2
+    assert index.next_solution(3) == 5
+    assert index.next_solution(9) == 9
+    assert index.next_solution(10) is None
+    assert len(index) == 3
+
+
+def test_unary_index_test():
+    g = path(6, palette=())
+    g.set_color("Red", [1])
+    index = UnaryIndex(g, parse_formula("Red(x)"), x)
+    assert index.test(1)
+    assert not index.test(2)
+
+
+def test_model_check_quantifier_peeling():
+    g = path(8, palette=())
+    g.set_color("Red", [3])
+    assert model_check(g, parse_formula("exists x. Red(x)"))
+    assert not model_check(g, parse_formula("exists x. Green(x)"))
+    assert model_check(g, parse_formula("forall x. dist(x, x) <= 0"))
+    assert not model_check(g, parse_formula("forall x. Red(x)"))
+
+
+def test_model_check_boolean_structure():
+    g = path(4, palette=())
+    g.set_color("Red", [0])
+    assert model_check(g, parse_formula("(exists x. Red(x)) & ~(forall x. Red(x))"))
+    assert model_check(g, parse_formula("(exists x. Green(x)) | (exists x. Red(x))"))
+
+
+def test_model_check_rejects_free_variables():
+    import pytest
+
+    with pytest.raises(ValueError):
+        model_check(path(3, palette=()), parse_formula("Red(x)"))
+
+
+def test_empty_graph():
+    g = ColoredGraph(0)
+    assert unary_solutions(g, parse_formula("Red(x)"), x) == []

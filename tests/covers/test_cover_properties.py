@@ -1,0 +1,78 @@
+"""Property-based tests for covers, kernels and subgraph relabeling."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.covers.kernels import kernel_of_bag
+from repro.covers.neighborhood_cover import build_cover
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.neighborhoods import bounded_bfs
+
+
+@st.composite
+def sparse_graph(draw):
+    n = draw(st.integers(1, 60))
+    rng = random.Random(draw(st.integers(0, 99999)))
+    g = ColoredGraph(n)
+    for v in range(1, n):
+        if rng.random() < 0.8:
+            g.add_edge(rng.randrange(v), v)
+    for _ in range(n // 5):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+@given(sparse_graph(), st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_cover_definition_holds(g, radius):
+    cover = build_cover(g, radius)
+    # Definition 4.3: every vertex's r-ball inside its canonical bag
+    for a in g.vertices():
+        ball = set(bounded_bfs(g, [a], radius))
+        assert ball <= set(cover.bags[cover.bag_of(a)])
+    # ... and every bag inside the 2r-ball of its center
+    for bag_id, bag in enumerate(cover.bags):
+        ball = set(bounded_bfs(g, [cover.center(bag_id)], 2 * radius))
+        assert set(bag) <= ball
+
+
+@given(sparse_graph(), st.integers(0, 3), st.integers(0, 3))
+@settings(max_examples=60, deadline=None)
+def test_kernel_matches_definition(g, radius, p):
+    cover = build_cover(g, max(radius, p))
+    for bag in cover.bags[:5]:
+        kernel = kernel_of_bag(g, bag, p)
+        members = set(bag)
+        expected = {
+            v for v in members if set(bounded_bfs(g, [v], p)) <= members
+        }
+        assert kernel == expected
+
+
+@given(sparse_graph(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_relabeled_subgraph_preserves_order_and_edges(g, data):
+    if g.n == 0:
+        return
+    subset = data.draw(
+        st.sets(st.integers(0, g.n - 1), min_size=1, max_size=min(g.n, 20))
+    )
+    sub, original = g.relabeled_subgraph(subset)
+    assert original == sorted(subset)
+    # order preservation: new ids sort exactly like originals
+    for i in range(len(original) - 1):
+        assert original[i] < original[i + 1]
+    # edge faithfulness both ways
+    index = {v: i for i, v in enumerate(original)}
+    for u in subset:
+        for w in g.neighbors(u):
+            if w in subset:
+                assert sub.has_edge(index[u], index[w])
+    for a, b in sub.edges():
+        assert g.has_edge(original[a], original[b])

@@ -1,0 +1,57 @@
+"""Unit tests for bag kernels (Definition 5.6 / Lemma 5.7)."""
+
+import pytest
+
+from repro.covers.kernels import kernel_of_bag
+from repro.covers.neighborhood_cover import build_cover
+from repro.graphs.generators import grid, path, random_planar_like_graph
+from repro.graphs.neighborhoods import bounded_bfs
+
+
+def brute_force_kernel(graph, bag, p):
+    members = set(bag)
+    return {
+        v for v in members if set(bounded_bfs(graph, [v], p)) <= members
+    }
+
+
+@pytest.mark.parametrize("p", [0, 1, 2, 3])
+def test_kernel_matches_definition(sparse_graph, p):
+    cover = build_cover(sparse_graph, 3)
+    for bag in cover.bags:
+        assert kernel_of_bag(sparse_graph, bag, p) == brute_force_kernel(
+            sparse_graph, bag, p
+        )
+
+
+def test_kernel_of_whole_graph_is_everything():
+    g = grid(5, 5)
+    assert kernel_of_bag(g, list(g.vertices()), 3) == set(g.vertices())
+
+
+def test_kernel_radius_zero_is_bag():
+    g = path(8, palette=())
+    bag = [2, 3, 4]
+    assert kernel_of_bag(g, bag, 0) == {2, 3, 4}
+
+
+def test_kernel_shrinks_with_radius():
+    g = random_planar_like_graph(80, seed=3)
+    cover = build_cover(g, 3)
+    bag = max(cover.bags, key=len)
+    sizes = [len(kernel_of_bag(g, bag, p)) for p in range(4)]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_path_kernel_is_interior():
+    g = path(10, palette=())
+    bag = [2, 3, 4, 5, 6]
+    # boundary members 2 and 6 touch the outside; kernel at p=1 drops them
+    assert kernel_of_bag(g, bag, 1) == {3, 4, 5}
+    assert kernel_of_bag(g, bag, 2) == {4}
+
+
+def test_negative_radius_rejected():
+    g = path(3, palette=())
+    with pytest.raises(ValueError):
+        kernel_of_bag(g, [0], -1)

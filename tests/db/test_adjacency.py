@@ -1,0 +1,64 @@
+"""Unit tests for the colored adjacency graph A'(D)."""
+
+from repro.db.adjacency import adjacency_graph, position_color, tuple_color
+from repro.db.database import Database, Schema
+from repro.graphs.neighborhoods import distance
+
+
+def sample_db():
+    db = Database(Schema({"Friend": 2, "Likes": 2}), domain_size=4)
+    db.add("Friend", (0, 1))
+    db.add("Friend", (1, 2))
+    db.add("Likes", (2, 3))
+    return db
+
+
+def test_vertex_counts():
+    enc = adjacency_graph(sample_db())
+    # 4 domain + 3 tuple vertices + 6 position vertices
+    assert enc.graph.n == 4 + 3 + 6
+    assert enc.domain_size == 4
+
+
+def test_domain_elements_keep_their_ids():
+    enc = adjacency_graph(sample_db())
+    assert enc.graph.color("Dom") == {0, 1, 2, 3}
+
+
+def test_tuple_vertices_colored_by_relation():
+    enc = adjacency_graph(sample_db())
+    friends = enc.graph.color(tuple_color("Friend"))
+    likes = enc.graph.color(tuple_color("Likes"))
+    assert len(friends) == 2 and len(likes) == 1
+    assert friends.isdisjoint(likes)
+
+
+def test_one_subdivision_structure():
+    """Element and tuple vertices sit at distance 2 through a C_i vertex."""
+    enc = adjacency_graph(sample_db())
+    t = enc.tuple_vertex[("Friend", (0, 1))]
+    assert distance(enc.graph, 0, t) == 2
+    assert distance(enc.graph, 1, t) == 2
+    # the connecting vertices carry the right position colors
+    middle0 = (set(enc.graph.neighbors(0)) & set(enc.graph.neighbors(t))).pop()
+    assert enc.graph.has_color(middle0, position_color(1))
+
+
+def test_elements_of_one_tuple_at_distance_four():
+    enc = adjacency_graph(sample_db())
+    assert distance(enc.graph, 0, 1) == 4  # via the Friend(0,1) tuple vertex
+    assert distance(enc.graph, 0, 3) == 12  # three hops of tuples
+
+
+def test_sparse_encoding_size():
+    db = sample_db()
+    enc = adjacency_graph(db)
+    # ||A'(D)|| is linear in ||D||
+    assert enc.graph.size <= 6 * db.size
+
+
+def test_empty_database():
+    db = Database(Schema({"R": 1}), domain_size=3)
+    enc = adjacency_graph(db)
+    assert enc.graph.n == 3
+    assert enc.graph.num_edges == 0

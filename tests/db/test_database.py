@@ -1,0 +1,51 @@
+"""Unit tests for relational databases."""
+
+import pytest
+
+from repro.db.database import Database, Schema
+
+
+def test_schema_arities():
+    schema = Schema({"Friend": 2, "Person": 1})
+    assert schema.arity("Friend") == 2
+    assert schema.max_arity == 2
+    assert "Friend" in schema and "Enemy" not in schema
+
+
+def test_schema_rejects_zero_arity():
+    with pytest.raises(ValueError):
+        Schema({"Nullary": 0})
+
+
+def test_add_and_query():
+    db = Database(Schema({"Friend": 2}), domain_size=4)
+    db.add("Friend", (0, 1))
+    assert (0, 1) in db.relation("Friend")
+    assert (1, 0) not in db.relation("Friend")
+
+
+def test_arity_validated():
+    db = Database(Schema({"Friend": 2}), domain_size=4)
+    with pytest.raises(ValueError):
+        db.add("Friend", (0,))
+
+
+def test_domain_validated():
+    db = Database(Schema({"Friend": 2}), domain_size=4)
+    with pytest.raises(ValueError):
+        db.add("Friend", (0, 4))
+
+
+def test_size_counts_entries():
+    db = Database(Schema({"Friend": 2, "Tag": 1}), domain_size=5)
+    db.add("Friend", (0, 1))
+    db.add("Tag", (2,))
+    assert db.size == 5 + 2 + 1
+
+
+def test_all_tuples_deterministic_order():
+    db = Database(Schema({"B": 1, "A": 1}), domain_size=3)
+    db.add("B", (1,))
+    db.add("A", (2,))
+    db.add("A", (0,))
+    assert list(db.all_tuples()) == [("A", (0,)), ("A", (2,)), ("B", (1,))]

@@ -1,0 +1,48 @@
+"""Unit tests for the Gaifman-graph reduction."""
+
+import pytest
+
+from repro.db.database import Database, Schema
+from repro.db.gaifman import gaifman_density_witness, gaifman_graph
+
+
+def test_binary_tuples_become_edges():
+    db = Database(Schema({"R": 2}), domain_size=4)
+    db.add("R", (0, 1))
+    db.add("R", (2, 3))
+    g = gaifman_graph(db)
+    assert g.has_edge(0, 1) and g.has_edge(2, 3)
+    assert not g.has_edge(1, 2)
+
+
+def test_wide_tuple_becomes_clique():
+    db = Database(Schema({"R": 4}), domain_size=4)
+    db.add("R", (0, 1, 2, 3))
+    g = gaifman_graph(db)
+    assert g.num_edges == 6  # K_4
+
+
+def test_repeated_elements_no_self_loop():
+    db = Database(Schema({"R": 2}), domain_size=3)
+    db.add("R", (1, 1))
+    g = gaifman_graph(db)
+    assert g.num_edges == 0
+
+
+def test_unary_relations_become_colors():
+    db = Database(Schema({"Person": 1, "R": 2}), domain_size=3)
+    db.add("Person", (2,))
+    db.add("R", (0, 1))
+    g = gaifman_graph(db)
+    assert g.has_color(2, "Person")
+
+
+def test_density_witness_separates_reductions():
+    """The paper's point: adjacency graphs stay sparser on wide schemas."""
+    _, gaifman_exp, adjacency_exp = gaifman_density_witness(width=12, tuples=20)
+    assert gaifman_exp > adjacency_exp
+
+
+def test_density_witness_validates_width():
+    with pytest.raises(ValueError):
+        gaifman_density_witness(width=1, tuples=3)

@@ -1,0 +1,95 @@
+"""Unit tests for ColoredGraph."""
+
+import pytest
+
+from repro.graphs.colored_graph import ColoredGraph
+
+
+def test_basic_construction():
+    g = ColoredGraph(4, [(0, 1), (1, 2)], colors={"B": [2, 3]})
+    assert g.n == 4
+    assert g.num_edges == 2
+    assert g.size == 6
+    assert g.degree(1) == 2
+    assert g.has_color(2, "B")
+    assert not g.has_color(0, "B")
+
+
+def test_duplicate_edges_stored_once():
+    g = ColoredGraph(3)
+    g.add_edge(0, 1)
+    g.add_edge(1, 0)
+    assert g.num_edges == 1
+
+
+def test_self_loops_rejected():
+    g = ColoredGraph(3)
+    with pytest.raises(ValueError):
+        g.add_edge(1, 1)
+
+
+def test_vertex_bounds_checked():
+    g = ColoredGraph(3)
+    with pytest.raises(IndexError):
+        g.add_edge(0, 3)
+    with pytest.raises(IndexError):
+        g.neighbors(-1)
+    with pytest.raises(IndexError):
+        g.has_color(5, "B")
+
+
+def test_edges_iterates_each_once():
+    g = ColoredGraph(4, [(0, 1), (2, 1), (3, 0)])
+    assert sorted(g.edges()) == [(0, 1), (0, 3), (1, 2)]
+
+
+def test_colors_of_vertex():
+    g = ColoredGraph(3, colors={"A": [0, 1], "B": [1]})
+    assert g.colors_of(1) == {"A", "B"}
+    assert g.colors_of(2) == frozenset()
+    assert g.color("missing") == frozenset()
+
+
+def test_add_to_color():
+    g = ColoredGraph(3)
+    g.add_to_color("New", 2)
+    assert g.has_color(2, "New")
+
+
+def test_copy_is_independent():
+    g = ColoredGraph(3, [(0, 1)], colors={"A": [0]})
+    h = g.copy()
+    h.add_edge(1, 2)
+    h.add_to_color("A", 1)
+    assert g.num_edges == 1
+    assert not g.has_color(1, "A")
+    assert h.num_edges == 2
+
+
+def test_equality():
+    g = ColoredGraph(3, [(0, 1)], colors={"A": [0]})
+    h = ColoredGraph(3, [(1, 0)], colors={"A": [0]})
+    assert g == h
+    h.add_to_color("A", 2)
+    assert g != h
+
+
+def test_relabeled_subgraph_preserves_order_and_structure():
+    g = ColoredGraph(6, [(0, 2), (2, 4), (4, 5), (1, 3)], colors={"C": [2, 3]})
+    sub, original = g.relabeled_subgraph([4, 0, 2, 5])
+    assert original == [0, 2, 4, 5]
+    assert sub.n == 4
+    assert sorted(sub.edges()) == [(0, 1), (1, 2), (2, 3)]
+    assert sub.color("C") == {1}
+
+
+def test_unhashable():
+    g = ColoredGraph(1)
+    with pytest.raises(TypeError):
+        hash(g)
+
+
+def test_len_and_repr():
+    g = ColoredGraph(5, [(0, 1)], colors={"Z": [0]})
+    assert len(g) == 5
+    assert "ColoredGraph" in repr(g)

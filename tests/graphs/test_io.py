@@ -1,0 +1,89 @@
+"""Unit tests for graph/database serialization."""
+
+import pytest
+
+from repro.db.database import Database, Schema
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.generators import random_planar_like_graph
+from repro.graphs.io import (
+    database_from_json,
+    database_to_json,
+    dumps_edge_list,
+    graph_from_json,
+    graph_to_json,
+    loads_edge_list,
+    read_edge_list,
+    read_json,
+    write_edge_list,
+    write_json,
+)
+
+
+def sample_graph():
+    return ColoredGraph(5, [(0, 1), (1, 2), (3, 4)], colors={"Blue": [2, 4], "Red": [0]})
+
+
+def test_edge_list_roundtrip():
+    g = sample_graph()
+    assert loads_edge_list(dumps_edge_list(g)) == g
+
+
+def test_edge_list_roundtrip_random():
+    g = random_planar_like_graph(60, seed=9)
+    assert loads_edge_list(dumps_edge_list(g)) == g
+
+
+def test_edge_list_ignores_comments_and_blanks():
+    text = "# a comment\n\nn 3\ne 0 1\n# another\nc Red 2\n"
+    g = loads_edge_list(text)
+    assert g.n == 3 and g.has_edge(0, 1) and g.has_color(2, "Red")
+
+
+def test_edge_list_errors_carry_line_numbers():
+    with pytest.raises(ValueError, match="line 2"):
+        loads_edge_list("n 3\nz 0 1\n")
+    with pytest.raises(ValueError, match="missing 'n"):
+        loads_edge_list("e 0 1\n")
+
+
+def test_edge_list_file_roundtrip(tmp_path):
+    g = sample_graph()
+    path = tmp_path / "graph.txt"
+    write_edge_list(g, path)
+    assert read_edge_list(path) == g
+
+
+def test_graph_json_roundtrip():
+    g = sample_graph()
+    assert graph_from_json(graph_to_json(g)) == g
+
+
+def test_graph_json_kind_checked():
+    with pytest.raises(ValueError, match="kind"):
+        graph_from_json({"kind": "nope"})
+
+
+def test_database_json_roundtrip():
+    db = Database(Schema({"Friend": 2, "Tag": 1}), domain_size=4)
+    db.add("Friend", (0, 1))
+    db.add("Tag", (3,))
+    restored = database_from_json(database_to_json(db))
+    assert restored.domain_size == 4
+    assert restored.relation("Friend") == {(0, 1)}
+    assert restored.relation("Tag") == {(3,)}
+
+
+def test_json_file_dispatch(tmp_path):
+    g = sample_graph()
+    db = Database(Schema({"R": 1}), domain_size=2)
+    db.add("R", (1,))
+    gpath, dpath = tmp_path / "g.json", tmp_path / "d.json"
+    write_json(g, gpath)
+    write_json(db, dpath)
+    assert read_json(gpath) == g
+    assert isinstance(read_json(dpath), Database)
+
+
+def test_write_json_rejects_other_types(tmp_path):
+    with pytest.raises(TypeError):
+        write_json(42, tmp_path / "x.json")

@@ -1,0 +1,71 @@
+"""Unit tests for treedepth (exact + greedy upper bound)."""
+
+import math
+
+import pytest
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.generators import cycle, path, random_tree, star
+from repro.graphs.treedepth import treedepth, treedepth_decomposition
+
+
+def test_edgeless_and_single():
+    assert treedepth(ColoredGraph(0)) == 0
+    assert treedepth(ColoredGraph(1)) == 1
+    assert treedepth(ColoredGraph(5)) == 1
+
+
+def test_path_treedepth_is_log():
+    # td(P_n) = ceil(log2(n + 1))
+    for n in (1, 2, 3, 4, 7, 8, 15):
+        assert treedepth(path(n, palette=())) == math.ceil(math.log2(n + 1)), n
+
+
+def test_star_treedepth_two():
+    assert treedepth(star(9, palette=())) == 2
+
+
+def test_cycle_treedepth():
+    # td(C_n) = 1 + td(P_{n-1}) = 1 + ceil(log2(n))
+    for n in (3, 4, 5, 8):
+        assert treedepth(cycle(n, palette=())) == 1 + math.ceil(math.log2(n)), n
+
+
+def test_clique_treedepth_is_n():
+    g = ColoredGraph(5, [(i, j) for i in range(5) for j in range(i + 1, 5)])
+    assert treedepth(g) == 5
+
+
+def test_exact_refuses_large_graphs():
+    with pytest.raises(ValueError):
+        treedepth(ColoredGraph(100))
+
+
+def test_decomposition_is_valid_forest_bound():
+    for build in (
+        lambda: path(20, palette=()),
+        lambda: random_tree(30, seed=2, palette=()),
+        lambda: cycle(12, palette=()),
+    ):
+        g = build()
+        parent, bound = treedepth_decomposition(g)
+        # every vertex appears exactly once
+        assert sorted(parent) == list(g.vertices())
+        # every edge is an ancestor/descendant pair in the forest
+        def ancestors(v):
+            seen = []
+            while v is not None:
+                seen.append(v)
+                v = parent[v]
+            return set(seen)
+
+        for u, v in g.edges():
+            assert u in ancestors(v) or v in ancestors(u), (u, v)
+        # the bound is at least the true treedepth
+        assert bound >= treedepth(g) if g.n <= 40 else True
+
+
+def test_greedy_bound_close_on_paths():
+    g = path(31, palette=())
+    _, bound = treedepth_decomposition(g)
+    assert bound <= 2 * math.ceil(math.log2(32))

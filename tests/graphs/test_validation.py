@@ -1,0 +1,66 @@
+"""Unit tests for the locality validator."""
+
+import pytest
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.generators import grid, random_tree, star, subdivided_clique
+from repro.graphs.validation import locality_report
+
+
+def test_grid_is_good():
+    report = locality_report(grid(20, 20, palette=()), radius=2)
+    assert report.verdict == "good"
+    assert report.max_ball <= 13  # diamond of radius 2
+    assert report.density_exponent < 1.2
+
+
+def test_small_world_shortcuts_degrade():
+    # a sparse ring plus random long chords: every 3-ball explodes
+    import random
+
+    rng = random.Random(1)
+    n = 200
+    g = ColoredGraph(n, [(i, (i + 1) % n) for i in range(n)])
+    for _ in range(n):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    report = locality_report(g, radius=4)
+    assert report.verdict == "degraded"
+    assert report.ball_fraction > 0.5
+
+
+def test_clique_is_dense():
+    n = 24
+    g = ColoredGraph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+    report = locality_report(g, radius=1)
+    assert report.verdict == "dense"
+
+
+def test_star_is_good_but_shallow():
+    # the star is sparse; its 2-balls are everything, but n is tiny-ish:
+    # the verdict reflects the fraction honestly
+    report = locality_report(star(300, palette=()), radius=2)
+    assert report.verdict == "degraded"
+
+
+def test_tree_is_good():
+    report = locality_report(random_tree(400, seed=2, palette=()), radius=2)
+    assert report.verdict == "good"
+
+
+def test_render_and_edge_cases():
+    text = locality_report(grid(6, 6, palette=()), radius=1).render()
+    assert "verdict:" in text
+    empty = locality_report(ColoredGraph(0))
+    assert empty.verdict == "good"
+    with pytest.raises(ValueError):
+        locality_report(ColoredGraph(2), radius=-1)
+
+
+def test_negative_control_subdivided_clique():
+    # at depth-1 subdivision the balls are still modest — what betrays the
+    # hidden clique is the weak-coloring bound growing with k
+    dense_control = locality_report(subdivided_clique(25, subdivisions=1), radius=2)
+    sparse = locality_report(random_tree(325, seed=1, palette=()), radius=2)
+    assert dense_control.weak_coloring_bound >= 5 * sparse.weak_coloring_bound

@@ -1,0 +1,93 @@
+"""Failure injection: the invariant checkers must catch corruption.
+
+The Storing-Theorem structure carries strong internal invariants (gap
+cells point at true successors, parent pointers are consistent, the
+register count matches the array count).  These tests corrupt the
+structure deliberately and assert the checker notices — guarding the
+guards.
+"""
+
+import pytest
+
+from repro.storage.registers import CHILD, GAP, PARENT
+from repro.storage.trie import TrieStore
+
+
+def populated_store():
+    store = TrieStore(27, 1, 1 / 3)
+    for x in (2, 4, 5, 19, 24, 25):
+        store.insert((x,), x)
+    return store
+
+
+def test_clean_store_passes():
+    populated_store().check_invariants()
+
+
+def test_corrupted_gap_payload_detected():
+    store = populated_store()
+    # root cell 1 is a gap pointing at (19,); forge it
+    store.registers.write(2, GAP, (24,))
+    with pytest.raises(AssertionError, match="gap cell"):
+        store.check_invariants()
+
+
+def test_corrupted_parent_pointer_detected():
+    store = populated_store()
+    first_child = store.registers.read(1)[1]
+    store.registers.write(first_child + store.d, PARENT, 2)
+    with pytest.raises(AssertionError, match="parent pointer"):
+        store.check_invariants()
+
+
+def test_register_leak_detected():
+    store = populated_store()
+    store.registers.allocate(store.d + 1)  # leak a block
+    with pytest.raises(AssertionError, match="register leak"):
+        store.check_invariants()
+
+
+def test_size_mismatch_detected():
+    store = populated_store()
+    store._size += 1
+    with pytest.raises(AssertionError, match="size mismatch"):
+        store.check_invariants()
+
+
+def test_dual_desync_detected():
+    from repro.storage.function_store import StoredFunction
+
+    f = StoredFunction(16, 1)
+    f[3] = 1
+    f[9] = 2
+    # remove from the primary only, bypassing the facade
+    f._primary.remove((3,))
+    with pytest.raises(AssertionError, match="disagree"):
+        f.check_invariants()
+
+
+def test_cover_property_violation_detected():
+    from repro.covers.neighborhood_cover import build_cover
+    from repro.graphs.generators import grid
+
+    g = grid(6, 6)
+    cover = build_cover(g, 2)
+    # shrink a bag behind the cover's back
+    victim = cover.bags[0]
+    removed = victim.pop()
+    cover._member_sets[0].discard(removed)
+    with pytest.raises(AssertionError):
+        cover.check_properties()
+
+
+def test_forged_child_tag_detected():
+    store = populated_store()
+    # turn a leaf-level gap cell into a bogus child pointer
+    node = store._node_on_path(store._encode((2,)), store.depth - 1)
+    for j in range(store.d):
+        delta, _ = store.registers.read(node + j)
+        if delta == GAP:
+            store.registers.write(node + j, CHILD, 99)
+            break
+    with pytest.raises(AssertionError):
+        store.check_invariants()

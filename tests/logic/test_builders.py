@@ -1,0 +1,75 @@
+"""Unit tests for the stock formula builders."""
+
+import pytest
+
+from repro.graphs.generators import path, random_planar_like_graph
+from repro.logic.builders import (
+    dist_at_most,
+    dist_greater,
+    distance_type_formula,
+    independence_sentence,
+)
+from repro.logic.semantics import evaluate
+from repro.logic.syntax import ColorAtom, DistAtom, Not, Var
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def test_dist_atom_form():
+    assert dist_at_most(x, y, 3) == DistAtom(x, y, 3)
+    assert dist_greater(x, y, 3) == Not(DistAtom(x, y, 3))
+
+
+def test_pure_fo_distance_matches_atom_semantics():
+    g = random_planar_like_graph(25, seed=2)
+    for r in (0, 1, 2, 3):
+        atom = dist_at_most(x, y, r)
+        pure = dist_at_most(x, y, r, as_atom=False)
+        for a in range(0, g.n, 3):
+            for b in range(0, g.n, 5):
+                env = {x: a, y: b}
+                assert evaluate(g, atom, env) == evaluate(g, pure, env), (r, a, b)
+
+
+def test_dist_at_most_rejects_negative():
+    with pytest.raises(ValueError):
+        dist_at_most(x, y, -1)
+
+
+def test_independence_sentence_semantics():
+    # "there are 2 Red vertices at distance > 2 from each other"
+    g = path(9, palette=())
+    g.set_color("Red", [0, 8])
+    phi = independence_sentence(2, 2, ColorAtom("Red", z), z)
+    assert evaluate(g, phi, {})
+    g2 = path(9, palette=())
+    g2.set_color("Red", [4, 5])
+    assert not evaluate(g2, phi, {})
+
+
+def test_independence_sentence_count_one_is_existence():
+    g = path(3, palette=())
+    g.set_color("Red", [1])
+    phi = independence_sentence(1, 5, ColorAtom("Red", z), z)
+    assert evaluate(g, phi, {})
+
+
+def test_independence_sentence_rejects_zero_count():
+    with pytest.raises(ValueError):
+        independence_sentence(0, 2, ColorAtom("Red", z), z)
+
+
+def test_distance_type_formula():
+    g = path(6, palette=())
+    variables = [x, y]
+    close = distance_type_formula(variables, [(0, 1)], r=2)
+    far = distance_type_formula(variables, [], r=2)
+    assert evaluate(g, close, {x: 0, y: 2})
+    assert not evaluate(g, close, {x: 0, y: 5})
+    assert evaluate(g, far, {x: 0, y: 5})
+    assert not evaluate(g, far, {x: 0, y: 2})
+
+
+def test_distance_type_formula_validates_edges():
+    with pytest.raises(ValueError):
+        distance_type_formula([x, y], [(0, 2)], r=1)

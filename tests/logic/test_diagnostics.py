@@ -1,0 +1,55 @@
+"""Unit tests for the decomposability diagnostics."""
+
+from repro.logic.diagnostics import explain
+
+
+def test_decomposable_query():
+    report = explain("dist(x, y) > 2 & Blue(y)")
+    assert report.decomposable
+    assert report.arity == 2
+    assert report.radius == 2
+    assert all(block.local for block in report.blocks)
+
+
+def test_unguarded_existential_is_named():
+    report = explain("exists z. Blue(z) & dist(z, x) > 2")
+    assert not report.decomposable
+    assert any("existential 'z'" in problem for problem in report.problems)
+
+
+def test_unguarded_universal_is_named():
+    # counterexamples satisfy ~Red(z) & ~E(x, z): no distance bound at all
+    report = explain("forall z. (Red(z) | E(x, z))")
+    assert not report.decomposable
+    assert any("universal 'z'" in problem for problem in report.problems)
+
+
+def test_closed_universal_is_a_sentence_block():
+    report = explain("Red(x) & forall z. Blue(z)")
+    assert report.decomposable
+
+
+def test_guarded_chain_is_fine():
+    report = explain("exists z. E(x, z) & E(z, y)")
+    assert report.decomposable
+    assert report.radius == 2
+
+
+def test_render_is_readable():
+    text = explain("dist(x, y) > 2 & Blue(y)").render()
+    assert "type scale" in text
+    assert "verdict: decomposable" in text
+    bad = explain("exists z. Blue(z) & dist(z, x) > 2").render()
+    assert "problems:" in bad
+
+
+def test_blocks_report_anchors():
+    report = explain("Red(x) & E(x, y)")
+    anchor_sets = {block.anchors for block in report.blocks}
+    assert ("x",) in anchor_sets
+    assert ("x", "y") in anchor_sets
+
+
+def test_sentence_blocks_have_no_anchors():
+    report = explain("(exists z. E(x, z)) | (exists w, v. E(w, v))")
+    assert any(block.anchors == () for block in report.blocks)

@@ -1,0 +1,112 @@
+"""Unit tests for the formula parser."""
+
+import pytest
+
+from repro.logic.parser import ParseError, parse_formula
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    ColorAtom,
+    DistAtom,
+    EdgeAtom,
+    EqAtom,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Top,
+    Var,
+)
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def test_edge_atom():
+    assert parse_formula("E(x, y)") == EdgeAtom(x, y)
+
+
+def test_color_atom():
+    assert parse_formula("Blue(x)") == ColorAtom("Blue", x)
+
+
+def test_equality_and_inequality():
+    assert parse_formula("x = y") == EqAtom(x, y)
+    assert parse_formula("x != y") == Not(EqAtom(x, y))
+
+
+def test_dist_atoms():
+    assert parse_formula("dist(x, y) <= 3") == DistAtom(x, y, 3)
+    assert parse_formula("dist(x, y) > 3") == Not(DistAtom(x, y, 3))
+
+
+def test_constants():
+    assert parse_formula("true") == Top()
+    assert parse_formula("false") == Bottom()
+
+
+def test_connective_precedence():
+    # & binds tighter than |, which binds tighter than ->
+    phi = parse_formula("Red(x) | Blue(x) & Green(x)")
+    assert phi == Or((ColorAtom("Red", x), And((ColorAtom("Blue", x), ColorAtom("Green", x)))))
+    arrow = parse_formula("Red(x) -> Blue(x)")
+    assert arrow == Or((Not(ColorAtom("Red", x)), ColorAtom("Blue", x)))
+
+
+def test_negation():
+    assert parse_formula("~E(x, y)") == Not(EdgeAtom(x, y))
+    assert parse_formula("~~Red(x)") == Not(Not(ColorAtom("Red", x)))
+
+
+def test_quantifiers():
+    phi = parse_formula("exists z. E(x, z)")
+    assert phi == Exists(z, EdgeAtom(x, z))
+    psi = parse_formula("forall z. E(x, z)")
+    assert psi == Forall(z, EdgeAtom(x, z))
+
+
+def test_multi_variable_quantifier():
+    phi = parse_formula("exists y, z. E(y, z)")
+    assert phi == Exists(y, Exists(z, EdgeAtom(y, z)))
+
+
+def test_quantifier_scopes_to_the_right():
+    phi = parse_formula("exists z. E(x, z) & E(z, y)")
+    assert isinstance(phi, Exists)
+    assert isinstance(phi.body, And)
+
+
+def test_parentheses():
+    phi = parse_formula("(Red(x) | Blue(x)) & Green(x)")
+    assert isinstance(phi, And)
+
+
+def test_roundtrip_through_repr():
+    texts = [
+        "E(x, y)",
+        "exists z. (E(x, z) & E(z, y))",
+        "dist(x, y) <= 2 | ~Blue(x)",
+        "forall z. (~E(x, z) | Red(z))",
+    ]
+    for text in texts:
+        phi = parse_formula(text)
+        assert parse_formula(repr(phi)) == phi
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "",
+        "E(x)",
+        "E(x, y",
+        "dist(x, y) < 2",
+        "exists . E(x, y)",
+        "Red(x) &",
+        "x ==",
+        "E(x, y) Red(x)",
+        "dist(x, y) <= ",
+        "@weird",
+    ],
+)
+def test_malformed_inputs_raise(bad):
+    with pytest.raises(ParseError):
+        parse_formula(bad)

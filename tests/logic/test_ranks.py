@@ -1,0 +1,63 @@
+"""Unit tests for quantifier rank and q-rank (Section 5.1.2)."""
+
+import pytest
+
+from repro.logic.parser import parse_formula
+from repro.logic.ranks import (
+    check_q_rank,
+    f_q,
+    max_distance_bound,
+    practical_radius,
+    q_rank_bound,
+    quantifier_rank,
+)
+
+
+def test_quantifier_rank():
+    assert quantifier_rank(parse_formula("E(x, y)")) == 0
+    assert quantifier_rank(parse_formula("exists z. E(x, z)")) == 1
+    assert quantifier_rank(parse_formula("exists z. forall w. E(z, w)")) == 2
+    assert quantifier_rank(
+        parse_formula("(exists z. E(x, z)) & (exists w. E(x, w))")
+    ) == 1
+
+
+def test_f_q_matches_paper_formula():
+    assert f_q(1, 0) == 4
+    assert f_q(2, 1) == 8 ** 3
+    with pytest.raises(ValueError):
+        f_q(-1, 0)
+
+
+def test_max_distance_bound():
+    assert max_distance_bound(parse_formula("E(x, y)")) == 0
+    assert max_distance_bound(parse_formula("dist(x, y) <= 7 | dist(x, y) > 3")) == 7
+
+
+def test_check_q_rank_quantifier_depth():
+    phi = parse_formula("exists z. forall w. E(z, w)")
+    assert check_q_rank(phi, q=3, ell=2)
+    assert not check_q_rank(phi, q=3, ell=1)
+
+
+def test_check_q_rank_distance_discipline():
+    # a dist atom under one quantifier must satisfy d <= (4q)^(q+l-1):
+    # with q = 1, l = 1 the allowed bound at depth 1 is 4, so 5 fails ...
+    phi = parse_formula("exists z. dist(z, x) <= 5")
+    assert not check_q_rank(phi, q=1, ell=1)
+    # ... while q = 2 allows (4*2)^(2+1-1) = 64 >= 5
+    assert check_q_rank(phi, q=2, ell=1)
+
+
+def test_q_rank_bound_returns_consistent_parameters():
+    phi = parse_formula("exists z. E(x, z) & E(z, y)")
+    q, ell, r = q_rank_bound(phi, arity=2)
+    assert q >= 2 and ell >= quantifier_rank(phi)
+    assert r == f_q(q, ell)
+    assert check_q_rank(phi, q, ell)
+
+
+def test_practical_radius_reflects_distance_bounds():
+    assert practical_radius(parse_formula("dist(x, y) <= 9")) == 9
+    assert practical_radius(parse_formula("E(x, y)")) == 1
+    assert practical_radius(parse_formula("exists z. E(x, z)")) >= 3

@@ -1,0 +1,80 @@
+"""Unit tests for naive FO+ semantics."""
+
+import pytest
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.generators import path
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import count_solutions, evaluate, satisfies, solutions
+from repro.logic.syntax import Var
+
+x, y = Var("x"), Var("y")
+
+
+@pytest.fixture
+def triangle_plus_tail():
+    # 0-1-2 triangle, 2-3 tail, colors
+    return ColoredGraph(
+        4,
+        [(0, 1), (1, 2), (0, 2), (2, 3)],
+        colors={"Red": [0], "Blue": [3]},
+    )
+
+
+def test_atoms(triangle_plus_tail):
+    g = triangle_plus_tail
+    assert evaluate(g, parse_formula("E(x, y)"), {x: 0, y: 1})
+    assert not evaluate(g, parse_formula("E(x, y)"), {x: 0, y: 3})
+    assert evaluate(g, parse_formula("Red(x)"), {x: 0})
+    assert evaluate(g, parse_formula("x = y"), {x: 2, y: 2})
+    assert evaluate(g, parse_formula("dist(x, y) <= 2"), {x: 0, y: 3})
+    assert not evaluate(g, parse_formula("dist(x, y) <= 1"), {x: 0, y: 3})
+
+
+def test_dist_zero_is_equality(triangle_plus_tail):
+    g = triangle_plus_tail
+    assert evaluate(g, parse_formula("dist(x, y) <= 0"), {x: 1, y: 1})
+    assert not evaluate(g, parse_formula("dist(x, y) <= 0"), {x: 1, y: 2})
+
+
+def test_connectives(triangle_plus_tail):
+    g = triangle_plus_tail
+    assert evaluate(g, parse_formula("Red(x) & ~Blue(x)"), {x: 0})
+    assert evaluate(g, parse_formula("Red(x) | Blue(x)"), {x: 3})
+    assert evaluate(g, parse_formula("Blue(x) -> Red(x)"), {x: 0})
+
+
+def test_quantifiers(triangle_plus_tail):
+    g = triangle_plus_tail
+    assert evaluate(g, parse_formula("exists y. E(x, y) & Blue(y)"), {x: 2})
+    assert not evaluate(g, parse_formula("exists y. E(x, y) & Blue(y)"), {x: 0})
+    assert evaluate(g, parse_formula("forall y. (E(x, y) -> dist(y, x) <= 1)"), {x: 0})
+
+
+def test_solutions_lexicographic(triangle_plus_tail):
+    g = triangle_plus_tail
+    sols = list(solutions(g, parse_formula("E(x, y)")))
+    assert sols == sorted(sols)
+    assert (0, 1) in sols and (1, 0) in sols
+    assert len(sols) == 8  # 4 undirected edges
+
+
+def test_solutions_of_sentence():
+    g = path(3, palette=())
+    assert list(solutions(g, parse_formula("exists x, y. E(x, y)"))) == [()]
+    assert list(solutions(g, parse_formula("forall x, y. E(x, y)"))) == []
+
+
+def test_satisfies_checks_arity(triangle_plus_tail):
+    with pytest.raises(ValueError):
+        satisfies(triangle_plus_tail, parse_formula("E(x, y)"), (0,), [x, y])
+
+
+def test_solutions_free_order_validation(triangle_plus_tail):
+    with pytest.raises(ValueError):
+        list(solutions(triangle_plus_tail, parse_formula("E(x, y)"), [x]))
+
+
+def test_count_solutions(triangle_plus_tail):
+    assert count_solutions(triangle_plus_tail, parse_formula("Red(x)")) == 1
+    assert count_solutions(triangle_plus_tail, parse_formula("E(x, y)")) == 8

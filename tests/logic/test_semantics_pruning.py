@@ -1,0 +1,106 @@
+"""The guard-aware evaluator must agree with an unpruned referee.
+
+:func:`repro.logic.semantics.evaluate` restricts quantifier ranges using
+guard analysis (direct atoms and certified connection chains).  These
+tests compare it against a deliberately simple evaluator that always
+scans the whole domain.
+"""
+
+import random
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.generators import random_planar_like_graph
+from repro.graphs.neighborhoods import bounded_bfs
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import DistanceCache, evaluate
+from repro.logic.syntax import (
+    And,
+    Bottom,
+    ColorAtom,
+    DistAtom,
+    EdgeAtom,
+    EqAtom,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Top,
+)
+from repro.logic.transform import free_variables
+
+
+def referee(graph, phi, assignment):
+    """Textbook semantics, no pruning whatsoever."""
+    if isinstance(phi, Top):
+        return True
+    if isinstance(phi, Bottom):
+        return False
+    if isinstance(phi, EdgeAtom):
+        return graph.has_edge(assignment[phi.left], assignment[phi.right])
+    if isinstance(phi, ColorAtom):
+        return graph.has_color(assignment[phi.var], phi.color)
+    if isinstance(phi, EqAtom):
+        return assignment[phi.left] == assignment[phi.right]
+    if isinstance(phi, DistAtom):
+        a, b = assignment[phi.left], assignment[phi.right]
+        return a == b or b in bounded_bfs(graph, [a], phi.bound)
+    if isinstance(phi, Not):
+        return not referee(graph, phi.body, assignment)
+    if isinstance(phi, And):
+        return all(referee(graph, p, assignment) for p in phi.parts)
+    if isinstance(phi, Or):
+        return any(referee(graph, p, assignment) for p in phi.parts)
+    if isinstance(phi, Exists):
+        extended = dict(assignment)
+        for value in graph.vertices():
+            extended[phi.var] = value
+            if referee(graph, phi.body, extended):
+                return True
+        return False
+    if isinstance(phi, Forall):
+        extended = dict(assignment)
+        for value in graph.vertices():
+            extended[phi.var] = value
+            if not referee(graph, phi.body, extended):
+                return False
+        return True
+    raise TypeError(phi)
+
+
+QUERIES = [
+    "exists z. E(x, z) & E(z, y)",
+    "exists z. dist(z, x) <= 2 & Blue(z)",
+    "exists z. Blue(z)",  # unguarded: full scan path
+    "forall z. (E(x, z) -> Red(z))",
+    "forall z. (dist(z, x) <= 2 -> dist(z, y) <= 4)",
+    "forall z. Red(z) | Blue(z) | ~Red(x)",  # unguarded universal
+    "exists z. z = x & Blue(z)",  # equality guard
+    "exists t. P(t) & (exists w. C(w) & E(x, w) & E(w, t)) & (exists v. C(v) & E(y, v) & E(v, t))",
+    "forall t. (P(t) -> forall w. (C(w) -> (E(x, w) -> ~E(w, t))))",
+]
+
+
+def test_pruned_evaluator_matches_referee():
+    rng = random.Random(77)
+    for seed in range(3):
+        g = random_planar_like_graph(22, seed=seed)
+        g.set_color("P", [v for v in g.vertices() if rng.random() < 0.3])
+        g.set_color("C", [v for v in g.vertices() if rng.random() < 0.3])
+        cache = DistanceCache(g)
+        for text in QUERIES:
+            phi = parse_formula(text)
+            order = sorted(free_variables(phi), key=lambda v: v.name)
+            for _ in range(40):
+                env = {v: rng.randrange(g.n) for v in order}
+                expected = referee(g, phi, env)
+                assert evaluate(g, phi, env) == expected, (text, env)
+                assert evaluate(g, phi, env, cache) == expected, (text, env)
+
+
+def test_pruning_on_disconnected_graph():
+    g = ColoredGraph(8, [(0, 1), (2, 3)], colors={"Blue": [3, 7]})
+    cache = DistanceCache(g)
+    phi = parse_formula("exists z. dist(z, x) <= 3 & Blue(z)")
+    order = sorted(free_variables(phi), key=lambda v: v.name)
+    for v in g.vertices():
+        assert evaluate(g, phi, {order[0]: v}, cache) == referee(g, phi, {order[0]: v})

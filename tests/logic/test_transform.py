@@ -1,0 +1,124 @@
+"""Unit tests for formula transformations."""
+
+import random
+
+from repro.graphs.generators import random_planar_like_graph
+from repro.logic.parser import parse_formula
+from repro.logic.semantics import evaluate
+from repro.logic.syntax import (
+    And,
+    DistAtom,
+    EdgeAtom,
+    Exists,
+    Forall,
+    Not,
+    Or,
+    Var,
+)
+from repro.logic.transform import (
+    all_variables,
+    free_variables,
+    fresh_variable,
+    negation_normal_form,
+    rename_variable,
+    standardize_apart,
+    substitute,
+)
+
+x, y, z, w = Var("x"), Var("y"), Var("z"), Var("w")
+
+
+def test_free_variables():
+    phi = parse_formula("exists z. E(x, z) & Blue(y)")
+    assert free_variables(phi) == {x, y}
+    assert free_variables(parse_formula("true")) == set()
+
+
+def test_all_variables_includes_bound():
+    phi = parse_formula("exists z. E(x, z)")
+    assert all_variables(phi) == {x, z}
+
+
+def test_fresh_variable_avoids_collisions():
+    used = {Var("u"), Var("u1")}
+    assert fresh_variable(used, "u") == Var("u2")
+    assert fresh_variable(set(), "u") == Var("u")
+
+
+def test_substitute_free_occurrences_only():
+    phi = Exists(z, EdgeAtom(x, z))
+    assert substitute(phi, {x: y}) == Exists(z, EdgeAtom(y, z))
+    # the bound z is untouched even if mapped
+    assert substitute(phi, {z: y}) == phi
+
+
+def test_substitute_avoids_capture():
+    phi = Exists(z, EdgeAtom(x, z))
+    result = substitute(phi, {x: z})
+    assert isinstance(result, Exists)
+    assert result.var != z  # bound variable renamed
+    assert free_variables(result) == {z}
+
+
+def test_rename_variable():
+    phi = EdgeAtom(x, y)
+    assert rename_variable(phi, x, w) == EdgeAtom(w, y)
+
+
+def test_nnf_pushes_negations():
+    phi = Not(And((EdgeAtom(x, y), Exists(z, EdgeAtom(x, z)))))
+    nnf = negation_normal_form(phi)
+    assert isinstance(nnf, Or)
+    assert isinstance(nnf.parts[1], Forall)
+
+
+def test_nnf_semantics_preserved():
+    rng = random.Random(5)
+    g = random_planar_like_graph(20, seed=3)
+    formulas = [
+        "~(E(x, y) & Blue(y))",
+        "~(exists z. E(x, z) & dist(z, y) <= 2)",
+        "~forall z. (E(x, z) -> Red(z))",
+        "~(~Red(x) | ~(x = y))",
+    ]
+    for text in formulas:
+        phi = parse_formula(text)
+        nnf = negation_normal_form(phi)
+        for _ in range(40):
+            a, b = rng.randrange(g.n), rng.randrange(g.n)
+            env = {x: a, y: b}
+            assert evaluate(g, phi, env) == evaluate(g, nnf, env), text
+
+
+def test_standardize_apart_no_shadowing():
+    phi = And((Exists(z, EdgeAtom(x, z)), Exists(z, EdgeAtom(y, z))))
+    std = standardize_apart(phi)
+    bound_names = []
+
+    def collect(node):
+        if isinstance(node, (Exists, Forall)):
+            bound_names.append(node.var)
+            collect(node.body)
+        elif isinstance(node, (And, Or)):
+            for p in node.parts:
+                collect(p)
+        elif isinstance(node, Not):
+            collect(node.body)
+
+    collect(std)
+    assert len(bound_names) == len(set(bound_names))
+
+
+def test_standardize_apart_semantics_preserved():
+    rng = random.Random(6)
+    g = random_planar_like_graph(18, seed=1)
+    phi = parse_formula("(exists z. E(x, z)) & (exists z. dist(z, y) <= 2 & Blue(z))")
+    std = standardize_apart(phi)
+    for _ in range(40):
+        env = {x: rng.randrange(g.n), y: rng.randrange(g.n)}
+        assert evaluate(g, phi, env) == evaluate(g, std, env)
+
+
+def test_substitute_in_dist_atom():
+    phi = DistAtom(x, y, 3)
+    assert substitute(phi, {x: z, y: w}) == DistAtom(z, w, 3)

@@ -1,0 +1,66 @@
+"""Unit tests for Splitter strategies."""
+
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.generators import grid, path, random_tree
+from repro.splitter.game import play_game
+from repro.splitter.strategies import (
+    CentroidStrategy,
+    GreedySeparatorStrategy,
+    TopmostStrategy,
+    _is_forest,
+    default_strategy,
+    forest_depths,
+)
+
+
+def test_is_forest_detection():
+    assert _is_forest(path(10, palette=()))
+    assert _is_forest(random_tree(30, seed=2, palette=()))
+    assert _is_forest(ColoredGraph(4))
+    cyclic = ColoredGraph(3, [(0, 1), (1, 2), (2, 0)])
+    assert not _is_forest(cyclic)
+
+
+def test_forest_depths_root_at_smallest():
+    g = path(5, palette=())
+    depths = forest_depths(g)
+    assert depths == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+
+def test_default_strategy_picks_topmost_on_forests():
+    assert isinstance(default_strategy(random_tree(20, seed=1, palette=())), TopmostStrategy)
+    assert isinstance(default_strategy(grid(4, 4, palette=())), CentroidStrategy)
+
+
+def test_topmost_chooses_shallowest():
+    g = path(7, palette=())
+    strategy = TopmostStrategy(forest_depths(g))
+    assert strategy.choose(g, range(7), [3, 4, 5], 4, 1) == 3
+
+
+def test_greedy_picks_hub():
+    g = ColoredGraph(5, [(0, 1), (0, 2), (0, 3), (3, 4)])
+    strategy = GreedySeparatorStrategy()
+    assert strategy.choose(g, range(5), [0, 1, 2, 3], 0, 1) == 0
+
+
+def test_centroid_splits_path_in_middle():
+    g = path(9, palette=())
+    strategy = CentroidStrategy()
+    ball = list(range(9))
+    assert strategy.choose(g, ball, ball, 4, 4) == 4
+
+
+def test_centroid_falls_back_above_limit():
+    g = path(40, palette=())
+    strategy = CentroidStrategy(exact_limit=10)
+    ball = list(range(40))
+    choice = strategy.choose(g, ball, ball, 20, 40)
+    assert choice in ball
+
+
+def test_topmost_beats_greedy_on_deep_trees():
+    g = random_tree(300, seed=4, palette=())
+    topmost = play_game(g, 2, TopmostStrategy(forest_depths(g)))
+    greedy = play_game(g, 2, GreedySeparatorStrategy())
+    assert topmost <= greedy + 3  # topmost is designed for trees

@@ -1,0 +1,129 @@
+"""Reproduction of the paper's Figure 1 (experiment E2).
+
+Figure 1 illustrates the Storing-Theorem data structure for ``n = 27``,
+``eps = 1/3`` (hence ``d = 3``, ``h = 3``), storing the identity function
+on the domain ``{2, 4, 5, 19, 24, 25}``.
+
+The paper's figure fixes one register layout; concrete register numbers
+depend on the insertion order, which the paper leaves open.  We insert in
+increasing key order and verify every layout-independent statement made
+in the text, plus the full content of the resulting register file and the
+removal example ("consider the case where 19 must be removed").
+"""
+
+from repro.storage.registers import CHILD, GAP, PARENT
+from repro.storage.trie import HIT, MISS, TrieStore
+
+DOMAIN = (2, 4, 5, 19, 24, 25)
+
+
+def figure1_store() -> TrieStore:
+    store = TrieStore(27, 1, 1 / 3)
+    for x in DOMAIN:
+        store.insert((x,), x)
+    return store
+
+
+def test_parameters_match_figure():
+    store = figure1_store()
+    assert (store.d, store.h) == (3, 3)
+
+
+def test_base3_decompositions_match_text():
+    # "the decomposition of 2 in base d = 3 is 002, while 4 is 011,
+    #  5 is 012, 19 is 201 and so on"
+    store = figure1_store()
+    assert store._encode((2,)) == [0, 0, 2]
+    assert store._encode((4,)) == [0, 1, 1]
+    assert store._encode((5,)) == [0, 1, 2]
+    assert store._encode((19,)) == [2, 0, 1]
+    assert store._encode((24,)) == [2, 2, 0]
+    assert store._encode((25,)) == [2, 2, 1]
+
+
+def test_root_cells_match_text():
+    store = figure1_store()
+    # "R_1 ... content is (1, 5) because the first child of the root ...
+    #  the first register representing it is R_5"
+    assert store.registers.read(1) == (CHILD, 5)
+    # "R_2 whose content is (0, 19) because the second child of the root is
+    #  a leaf and 19 is the smallest element ... starting with [more than] 1"
+    assert store.registers.read(2) == (GAP, (19,))
+    # under increasing-order insertion the third root cell points at the
+    # subtree of the 2xx keys
+    delta, _ = store.registers.read(3)
+    assert delta == CHILD
+
+
+def test_child_parent_backpointers():
+    store = figure1_store()
+    # "(-1, 1) because R_1 is the first register encoding the root" — the
+    # last register of the first child points back to the parent cell R_1.
+    first_child = store.registers.read(1)[1]
+    assert store.registers.read(first_child + store.d) == (PARENT, 1)
+    # root's own parent pointer is Null
+    assert store.registers.read(1 + store.d) == (PARENT, None)
+
+
+def test_leaf_register_contents():
+    store = figure1_store()
+    # the cell representing 5 (= digits 012) holds (1, f(5)) = (1, 5)
+    assert store.lookup((5,)) == (HIT, 5)
+    node = store._node_on_path(store._encode((5,)), store.depth - 1)
+    assert store.registers.read(node + 2) == (CHILD, 5)
+
+
+def test_full_register_layout_under_increasing_insertion():
+    """The complete register dump for in-order insertion.
+
+    Arrays (base register, prefix): 1 root, 5 "0", 9 "00", 13 "01",
+    17 "2", 21 "20", 25 "22"; R_0 = 29 — seven arrays of d+1 = 4
+    registers, matching the figure's array count and R_0 = 29.
+    """
+    store = figure1_store()
+    assert store.registers.next_free == 29
+    expected = [
+        (GAP, 29),  # R_0
+        (CHILD, 5), (GAP, (19,)), (CHILD, 17), (PARENT, None),  # root
+        (CHILD, 9), (CHILD, 13), (GAP, (19,)), (PARENT, 1),  # "0"
+        (GAP, (2,)), (GAP, (2,)), (CHILD, 2), (PARENT, 5),  # "00"
+        (GAP, (4,)), (CHILD, 4), (CHILD, 5), (PARENT, 6),  # "01"
+        (CHILD, 21), (GAP, (24,)), (CHILD, 25), (PARENT, 3),  # "2"
+        (GAP, (19,)), (CHILD, 19), (GAP, (24,)), (PARENT, 17),  # "20"
+        (CHILD, 24), (CHILD, 25), (GAP, None), (PARENT, 19),  # "22"
+    ]
+    assert store.registers.dump() == expected
+
+
+def test_removal_example_from_text():
+    """"Consider the case where 19 must be removed from the domain ...
+    the array [for prefix 20] is now irrelevant [and] we move the content
+    of the [last] array in [its] place ... and update R_0."""
+    store = figure1_store()
+    before = store.registers.next_free
+    store.remove((19,))
+    # one array of d+1 = 4 registers was reclaimed
+    assert store.registers.next_free == before - 4
+    # "replace the value (0, 19) by (0, 24)" in the gap cells between 5 and 24
+    assert store.lookup((6,)) == (MISS, (24,))
+    assert store.lookup((19,)) == (MISS, (24,))
+    assert store.lookup((3,)) == (MISS, (4,))
+    # the moved array (prefix 22) is still reachable and correct
+    assert store.lookup((24,)) == (HIT, 24)
+    assert store.lookup((25,)) == (HIT, 25)
+    store.check_invariants()
+
+
+def test_lookups_cover_whole_universe():
+    store = figure1_store()
+    import bisect
+
+    domain = sorted(DOMAIN)
+    for probe in range(27):
+        status, payload = store.lookup((probe,))
+        if probe in DOMAIN:
+            assert (status, payload) == (HIT, probe)
+        else:
+            index = bisect.bisect_right(domain, probe)
+            expected = (domain[index],) if index < len(domain) else None
+            assert (status, payload) == (MISS, expected)

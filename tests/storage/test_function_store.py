@@ -1,0 +1,75 @@
+"""Unit tests for the StoredFunction facade (primary + dual trie)."""
+
+import pytest
+
+from repro.storage.function_store import StoredFunction
+from repro.storage.trie import HIT, MISS
+
+
+def test_docstring_example():
+    f = StoredFunction(27, 1, eps=1 / 3)
+    for x in (2, 4, 5, 19, 24, 25):
+        f[x,] = x
+    assert f.lookup((7,)) == (MISS, (19,))
+    assert f.predecessor((7,)) == (5,)
+
+
+def test_int_keys_are_accepted_for_unary_functions():
+    f = StoredFunction(10, 1)
+    f[3] = "three"
+    assert f[3] == "three"
+    assert 3 in f
+    assert f.get(4) is None
+
+
+def test_getitem_raises_on_missing():
+    f = StoredFunction(10, 1)
+    with pytest.raises(KeyError):
+        f[(5,)]
+
+
+def test_setitem_overwrites():
+    f = StoredFunction(10, 2)
+    f[(1, 2)] = "a"
+    f[(1, 2)] = "b"
+    assert f[(1, 2)] == "b"
+    assert len(f) == 1
+
+
+def test_delete_keeps_dual_in_sync():
+    f = StoredFunction(10, 1)
+    for x in (1, 5, 9):
+        f[x] = x
+    del f[(5,)]
+    assert f.predecessor((9,)) == (1,)
+    assert f.successor((2,)) == (9,)
+    f.check_invariants()
+
+
+def test_items_and_keys_in_order():
+    f = StoredFunction(12, 2)
+    keys = [(3, 3), (0, 7), (11, 0)]
+    for key in keys:
+        f[key] = sum(key)
+    assert list(f.keys()) == sorted(keys)
+    assert list(f.items()) == [(k, sum(k)) for k in sorted(keys)]
+
+
+def test_initial_items_argument():
+    f = StoredFunction(8, 1, items=[((2,), "a"), ((6,), "b")])
+    assert len(f) == 2
+    assert f[(6,)] == "b"
+
+
+def test_registers_used_counts_both_tries():
+    f = StoredFunction(16, 1)
+    empty = f.registers_used
+    f[3] = 1
+    assert f.registers_used >= empty
+
+
+def test_successor_weak_vs_strict():
+    f = StoredFunction(10, 1, items=[((4,), 1)])
+    assert f.successor((4,)) == (4,)
+    assert f.successor((4,), strict=True) is None
+    assert f.successor((0,)) == (4,)

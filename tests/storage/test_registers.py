@@ -1,0 +1,48 @@
+"""Unit tests for the register file (the RAM model of Section 3)."""
+
+from repro.storage.registers import CHILD, GAP, PARENT, RegisterFile
+
+
+def test_initial_state():
+    registers = RegisterFile()
+    assert registers.next_free == 1
+    assert registers.used == 1
+
+
+def test_allocate_returns_consecutive_blocks():
+    registers = RegisterFile()
+    first = registers.allocate(4)
+    second = registers.allocate(4)
+    assert first == 1
+    assert second == 5
+    assert registers.next_free == 9
+
+
+def test_write_and_read_roundtrip():
+    registers = RegisterFile()
+    base = registers.allocate(3)
+    registers.write(base, CHILD, 42)
+    registers.write(base + 1, GAP, (1, 2))
+    registers.write(base + 2, PARENT, None)
+    assert registers.read(base) == (CHILD, 42)
+    assert registers.read(base + 1) == (GAP, (1, 2))
+    assert registers.read(base + 2) == (PARENT, None)
+
+
+def test_release_last_reclaims_space():
+    registers = RegisterFile()
+    registers.allocate(4)
+    registers.allocate(4)
+    registers.release_last(4)
+    assert registers.next_free == 5
+    # the reclaimed block is handed out again
+    assert registers.allocate(4) == 5
+
+
+def test_dump_reflects_used_registers():
+    registers = RegisterFile()
+    base = registers.allocate(2)
+    registers.write(base, GAP, "a")
+    registers.write(base + 1, GAP, "b")
+    snapshot = registers.dump(base)
+    assert snapshot == [(GAP, "a"), (GAP, "b")]

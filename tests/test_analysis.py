@@ -1,0 +1,47 @@
+"""Unit tests for the scaling-analysis helpers."""
+
+import pytest
+
+from repro.analysis import fit_exponent, flatness, is_pseudo_linear
+
+
+def test_fit_exact_power_law():
+    xs = [10, 100, 1000]
+    ys = [3 * x ** 1.5 for x in xs]
+    exponent, constant = fit_exponent(xs, ys)
+    assert abs(exponent - 1.5) < 1e-9
+    assert abs(constant - 3) < 1e-6
+
+
+def test_fit_linear():
+    xs = [2, 4, 8, 16]
+    exponent, _ = fit_exponent(xs, [5 * x for x in xs])
+    assert abs(exponent - 1.0) < 1e-9
+
+
+def test_fit_constant_series():
+    exponent, constant = fit_exponent([1, 10, 100], [7, 7, 7])
+    assert abs(exponent) < 1e-9
+    assert abs(constant - 7) < 1e-6
+
+
+def test_fit_needs_two_distinct_points():
+    with pytest.raises(ValueError):
+        fit_exponent([5, 5], [1, 2])
+    with pytest.raises(ValueError):
+        fit_exponent([1], [1])
+    with pytest.raises(ValueError):
+        fit_exponent([1, 2], [1])
+
+
+def test_flatness():
+    assert flatness([3, 3, 3]) == 1.0
+    assert flatness([2, 4]) == 2.0
+    with pytest.raises(ValueError):
+        flatness([])
+
+
+def test_is_pseudo_linear():
+    xs = [512, 2048, 8192]
+    assert is_pseudo_linear(xs, [x ** 1.2 for x in xs])
+    assert not is_pseudo_linear(xs, [x ** 2 for x in xs])

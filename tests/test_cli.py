@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import random_tree
+from repro.graphs.io import write_edge_list, write_json
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    write_edge_list(random_tree(40, seed=3), path)
+    return str(path)
+
+
+def test_generate_and_info(tmp_path, capsys):
+    out = tmp_path / "tree.json"
+    assert main(["generate", "random_tree", "50", "-o", str(out), "--seed", "1"]) == 0
+    assert out.exists()
+    assert main(["info", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "vertices:          50" in captured
+    assert "density exponent" in captured
+
+
+def test_generate_unknown_family(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["generate", "clique", "10", "-o", str(tmp_path / "x.txt")])
+
+
+def test_info_on_edge_list(graph_file, capsys):
+    assert main(["info", graph_file]) == 0
+    assert "degeneracy:        1" in capsys.readouterr().out
+
+
+def test_explain_exit_codes(capsys):
+    assert main(["explain", "E(x, y)"]) == 0
+    assert "decomposable" in capsys.readouterr().out
+    assert main(["explain", "exists z. Blue(z) & dist(z, x) > 2"]) == 1
+    assert "problems:" in capsys.readouterr().out
+
+
+def test_query_command(graph_file, capsys):
+    code = main(
+        [
+            "query",
+            graph_file,
+            "E(x, y)",
+            "--count",
+            "--test", "0,1",
+            "--next", "0,0",
+            "--enumerate", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "index built: method=indexed" in out
+    assert "count: 78" in out  # 2 * 39 directed edge pairs
+    assert "test(0, 1):" in out
+    assert "next(0, 0):" in out
+
+
+def test_query_rejects_bad_tuple(graph_file):
+    with pytest.raises(SystemExit):
+        main(["query", graph_file, "E(x, y)", "--test", "zero,one"])
+
+
+def test_bench_command(graph_file, capsys):
+    assert main(["bench", graph_file, "E(x, y)"]) == 0
+    out = capsys.readouterr().out
+    assert "build=" in out and "test=" in out
+
+
+def test_query_on_json_database_rejected(tmp_path):
+    from repro.db.database import Database, Schema
+
+    db = Database(Schema({"R": 1}), domain_size=2)
+    path = tmp_path / "db.json"
+    write_json(db, path)
+    with pytest.raises(SystemExit):
+        main(["info", str(path)])
+
+
+def test_query_stats_flag(graph_file, capsys):
+    assert main(["query", graph_file, "E(x, y)", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert '"method": "indexed"' in out
+
+
+def test_info_locality_flag(graph_file, capsys):
+    assert main(["info", graph_file, "--locality", "--radius", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict:" in out

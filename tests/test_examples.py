@@ -1,0 +1,41 @@
+"""Smoke tests: the example scripts must run end to end.
+
+The slowest example (road_network, a 900-intersection city) is exercised
+at reduced scale through its building blocks elsewhere; the other three
+run verbatim.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+sys.path.insert(0, str(EXAMPLES))
+
+
+def test_quickstart_runs(capsys):
+    import quickstart
+
+    quickstart.main()
+    out = capsys.readouterr().out
+    assert "total solutions:" in out
+    assert "next_solution((10, 0))" in out
+
+
+def test_social_network_runs(capsys):
+    import social_network
+
+    social_network.main()
+    out = capsys.readouterr().out
+    assert "suggestions for user" in out
+    assert "method=indexed" in out
+
+
+def test_sensor_coverage_runs(capsys):
+    import sensor_coverage
+
+    sensor_coverage.main()
+    out = capsys.readouterr().out
+    assert "total far (gateway, detector) pairs:" in out
+    assert "closed-form" in out

@@ -1,0 +1,74 @@
+"""Unit tests for the benchmark report renderer."""
+
+import json
+
+from repro.reporting import (
+    group_by_experiment,
+    load_results,
+    main,
+    render_group,
+    render_report,
+)
+
+
+def fake_results(tmp_path):
+    payload = {
+        "benchmarks": [
+            {
+                "fullname": "benchmarks/bench_storing.py::test_lookup[1024]",
+                "name": "test_lookup[1024]",
+                "stats": {"mean": 2.5e-6},
+                "extra_info": {"per_lookup_batch": 512},
+            },
+            {
+                "fullname": "benchmarks/bench_storing.py::test_lookup[262144]",
+                "name": "test_lookup[262144]",
+                "stats": {"mean": 3.1e-6},
+                "extra_info": {},
+            },
+            {
+                "fullname": "benchmarks/bench_delay.py::test_delay_profile[512]",
+                "name": "test_delay_profile[512]",
+                "stats": {"mean": 0.8},
+                "extra_info": {"delay_max_us": 120.0},
+            },
+        ]
+    }
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_load_and_group(tmp_path):
+    path = fake_results(tmp_path)
+    benchmarks = load_results(path)
+    assert len(benchmarks) == 3
+    groups = group_by_experiment(benchmarks)
+    assert set(groups) == {"bench_storing", "bench_delay"}
+    # numeric params sort numerically: 1024 before 262144
+    names = [b["name"] for b in groups["bench_storing"]]
+    assert names == ["test_lookup[1024]", "test_lookup[262144]"]
+
+
+def test_render_group_formats_units(tmp_path):
+    path = fake_results(tmp_path)
+    groups = group_by_experiment(load_results(path))
+    table = render_group("bench_storing", groups["bench_storing"])
+    assert "E1" in table
+    assert "2.5 us" in table
+    assert "per_lookup_batch=512" in table
+    delay = render_group("bench_delay", groups["bench_delay"])
+    assert "800.0 ms" in delay
+
+
+def test_render_report_orders_experiments(tmp_path):
+    report = render_report(fake_results(tmp_path))
+    assert report.index("E1") < report.index("E9")
+    assert "3 measurements" in report
+
+
+def test_main_cli(tmp_path, capsys):
+    path = fake_results(tmp_path)
+    assert main([str(path)]) == 0
+    assert "Benchmark report" in capsys.readouterr().out
+    assert main([]) == 2
