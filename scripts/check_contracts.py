@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Run the complexity-contract checker and annotate CI output.
+
+Thin wrapper over ``python -m repro.contracts`` for use in GitHub
+Actions: with ``--github`` every finding becomes a workflow command
+(``::error`` / ``::notice``) so violations show up inline on the PR
+diff.  Exit code matches the checker's (non-zero iff unwaived errors).
+
+Usage::
+
+    python scripts/check_contracts.py [--github] [PATH ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.contracts.checker import check_paths  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", metavar="PATH",
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--github", action="store_true",
+                        help="emit GitHub Actions workflow commands")
+    args = parser.parse_args(argv)
+
+    paths = [Path(p) for p in args.paths] or [REPO_ROOT / "src" / "repro"]
+    report = check_paths(paths)
+
+    if args.github:
+        for finding in json.loads(report.to_json())["findings"]:
+            command = "notice" if finding["waived"] else "error"
+            try:
+                file = str(Path(finding["file"]).resolve().relative_to(REPO_ROOT))
+            except ValueError:
+                file = finding["file"]
+            message = finding["message"]
+            if finding["waived"]:
+                message += f" (waived: {finding['waiver']})"
+            print(
+                f"::{command} file={file},line={finding['line']},"
+                f"col={finding['col']},title={finding['rule']} "
+                f"{finding['title']}::{finding['function']}: {message}"
+            )
+        summary = json.loads(report.to_json())
+        print(
+            f"checked {summary['functions_checked']} contracted functions in "
+            f"{summary['files_checked']} files: {summary['errors']} error(s), "
+            f"{summary['waived']} waived"
+        )
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,15 +21,15 @@ See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
 reproduced claims.
 """
 
-from repro.core.engine import QueryIndex, build_index
 from repro.core.config import EngineConfig
 from repro.core.counting import CountingIndex, count_solutions
-from repro.graphs.colored_graph import ColoredGraph
-from repro.logic.parser import parse_formula
-from repro.logic.diagnostics import explain
-from repro.db.database import Database
+from repro.core.engine import QueryIndex, build_index
 from repro.db.adjacency import adjacency_graph
+from repro.db.database import Database
 from repro.db.rewrite import rewrite_query
+from repro.graphs.colored_graph import ColoredGraph
+from repro.logic.diagnostics import explain
+from repro.logic.parser import parse_formula
 
 __version__ = "1.0.0"
 

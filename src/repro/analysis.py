@@ -29,6 +29,9 @@ def fit_exponent(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float
     mean_x = sum(log_x) / n
     mean_y = sum(log_y) / n
     sxx = sum((lx - mean_x) ** 2 for lx in log_x)
+    if sxx <= 0.0:
+        # distinct floats can share a log (e.g. adjacent values near 1e300)
+        raise ValueError("need at least two distinct positive x values")
     sxy = sum((lx - mean_x) * (ly - mean_y) for lx, ly in zip(log_x, log_y))
     exponent = sxy / sxx
     constant = math.exp(mean_y - exponent * mean_x)

@@ -6,7 +6,7 @@
   BFS distance testing, the baseline for Proposition 4.2.
 """
 
-from repro.baselines.naive import NaiveIndex
 from repro.baselines.bfs_oracle import bfs_distance_at_most
+from repro.baselines.naive import NaiveIndex
 
 __all__ = ["NaiveIndex", "bfs_distance_at_most"]

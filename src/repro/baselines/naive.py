@@ -13,6 +13,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from collections.abc import Iterator
 
+from repro.contracts import constant_time, delay
 from repro.graphs.colored_graph import ColoredGraph
 from repro.logic.semantics import solutions as naive_solutions
 from repro.logic.syntax import Formula, Var
@@ -34,15 +35,18 @@ class NaiveIndex:
         self.solutions = list(naive_solutions(graph, phi, list(self.free_order)))
         self._solution_set = set(self.solutions)
 
+    @constant_time(note="hash probe into the materialized set")
     def test(self, values: tuple[int, ...]) -> bool:
         """Membership in the materialized result set."""
         return tuple(values) in self._solution_set
 
+    @delay("O(log n)", note="binary search over the materialized list")
     def next_solution(self, start: tuple[int, ...]) -> tuple[int, ...] | None:
         """Smallest materialized solution >= start (binary search)."""
         index = bisect_left(self.solutions, tuple(start))
         return self.solutions[index] if index < len(self.solutions) else None
 
+    @delay("O(1)", note="already materialized; iteration is free")
     def enumerate(self) -> Iterator[tuple[int, ...]]:
         """The materialized solutions, already sorted."""
         return iter(self.solutions)

@@ -18,6 +18,11 @@ Commands
 
 ``bench FILE QUERY``
     One-line timing summary: preprocessing, per-test, per-next.
+
+``lint [PATHS...] [--format text|json]``
+    Statically check the complexity contracts (``@constant_time`` /
+    ``@delay`` / ``@pseudo_linear`` annotations) over the given paths;
+    defaults to the installed ``repro`` package itself.
 """
 
 from __future__ import annotations
@@ -141,6 +146,15 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.contracts.checker import main as lint_main
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    return lint_main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree for ``python -m repro`` (see module docstring)."""
     parser = argparse.ArgumentParser(
@@ -182,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("graph")
     bench.add_argument("query")
     bench.set_defaults(func=_cmd_bench)
+
+    lint = commands.add_parser("lint", help="check the complexity contracts")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories (default: the repro package)")
+    lint.add_argument("--format", default="text", choices=["text", "json"])
+    lint.set_defaults(func=_cmd_lint)
 
     return parser
 

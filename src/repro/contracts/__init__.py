@@ -1,0 +1,45 @@
+"""Complexity contracts: the paper's asymptotic guarantees as checked code.
+
+Every headline result of the paper is an asymptotic contract — Theorem
+3.1's constant-time lookup-or-successor, Corollary 2.5's constant-delay
+enumeration, Lemma 5.8's constant-time SKIP.  This package turns those
+contracts from docstring prose into machine-checked annotations:
+
+* :mod:`repro.contracts.decorators` — the vocabulary
+  (:func:`constant_time`, :func:`pseudo_linear`, :func:`delay`,
+  :func:`amortized`) applied to the hot-path functions across
+  ``storage/``, ``core/`` and ``covers/``.  The decorators are free at
+  runtime (they tag the function and return it unchanged) and double as
+  instrumentation points: :func:`instrument` swaps counting wrappers in
+  so tests can cross-check the static verdict empirically.
+* :mod:`repro.contracts.checker` — an AST checker that walks every
+  annotated function and flags contract violations: loops over
+  graph-sized collections, recursion, and calls from a constant-time
+  function into anything not itself constant-time (a call-graph closure
+  check with lightweight type inference).  ``# contract: <reason>``
+  comments waive a finding while keeping it in the report.
+
+Run it as ``repro lint src/`` or ``python -m repro.contracts src/``.
+"""
+
+from repro.contracts.decorators import (
+    Contract,
+    amortized,
+    constant_time,
+    contract_of,
+    delay,
+    instrument,
+    pseudo_linear,
+    registered_contracts,
+)
+
+__all__ = [
+    "Contract",
+    "amortized",
+    "constant_time",
+    "contract_of",
+    "delay",
+    "instrument",
+    "pseudo_linear",
+    "registered_contracts",
+]

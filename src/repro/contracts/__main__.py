@@ -1,0 +1,10 @@
+"""``python -m repro.contracts src/`` — run the contract checker."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.contracts.checker import main
+
+if __name__ == "__main__":
+    sys.exit(main())

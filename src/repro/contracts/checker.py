@@ -1,0 +1,928 @@
+"""AST-based complexity-contract checker (``repro lint``).
+
+Statically enforces the contracts declared via
+:mod:`repro.contracts.decorators`.  For every annotated function the
+checker walks the AST and applies these rules:
+
+=========  ==================================================================
+rule id    fires when
+=========  ==================================================================
+CTC001     a constant-time context (``@constant_time`` or ``@delay`` of any
+           bound) iterates over — or materializes with ``list``/``sorted``/
+           ``set``/``sum``/... — a *graph-sized* collection:
+           ``graph.vertices()``, ``graph.edges()``, ``.adjacency``/``.nodes``
+           attributes, ``range(n)``-like ranges over ``.n``/``.num_edges``,
+           or any name declared via the decorator's ``sized=(...)`` kwarg
+CTC002     a ``@constant_time`` / ``@delay("O(1)")`` function recurses —
+           directly, or through a cycle of contracted functions resolved in
+           the call graph
+CTC003     a ``@constant_time`` / ``@delay("O(1)")`` function calls a
+           function defined in the analyzed tree that is not itself
+           constant-time (unannotated, ``@pseudo_linear``, ``@amortized``,
+           or a slower ``@delay``); dispatch through attributes is resolved
+           with lightweight type inference (parameter annotations,
+           ``self.x = ClassName(...)`` assignments, return annotations,
+           ``list[T]``/``tuple[...]`` subscripts)
+PLC004     a ``@pseudo_linear`` function nests one graph-sized loop inside
+           another (quadratic risk)
+=========  ==================================================================
+
+A trailing ``# contract: <reason>`` comment on the offending line (or the
+line directly above it) waives the finding: it stays in the report as a
+note — the explicit, reviewable escape hatch for documented amortization
+(e.g. the ``PrefixScan`` fallback in ``next_solution.py``) — but does not
+fail the lint.
+
+Calls that cannot be resolved to a definition in the analyzed tree
+(builtins, stdlib, dynamically typed attributes) are ignored rather than
+guessed at: the checker is deliberately zero-false-positive on the
+annotated tree, and the escape-hatch comments carry the residual risk.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+RULE_SIZED_LOOP = "CTC001"
+RULE_RECURSION = "CTC002"
+RULE_CALLEE = "CTC003"
+RULE_NESTED_SIZED = "PLC004"
+
+RULE_TITLES = {
+    RULE_SIZED_LOOP: "graph-sized iteration in a constant-time context",
+    RULE_RECURSION: "recursion in a constant-time context",
+    RULE_CALLEE: "constant-time function calls a non-constant callee",
+    RULE_NESTED_SIZED: "nested graph-sized loops in pseudo-linear context",
+}
+
+#: Decorator names recognized as contracts.
+CONTRACT_NAMES = {"constant_time", "delay", "pseudo_linear", "amortized"}
+
+#: Classes whose instances are "the graph" for sized-expression purposes.
+GRAPH_CLASSES = {"ColoredGraph"}
+#: Methods/attributes of a graph-ish object that yield Θ(n)/Θ(m) collections.
+GRAPH_SIZED_ATTRS = {"vertices", "edges"}
+#: Attribute names that are graph-sized on any receiver (`Dom(f)`-likes).
+ALWAYS_SIZED_ATTRS = {"adjacency", "nodes"}
+#: Names that make a receiver graph-ish by convention (``graph.vertices()``).
+GRAPH_NAME_HINTS = {"graph", "g", "subgraph"}
+#: Attributes whose appearance in a ``range()`` argument marks it Θ(n).
+SIZED_RANGE_ATTRS = {"n", "num_edges"}
+#: Builtins that materialize / reduce their (possibly sized) first argument.
+MATERIALIZERS = {"list", "sorted", "set", "tuple", "frozenset", "sum", "max", "min"}
+#: Builtins that forward their first argument's size to iteration.
+FORWARDERS = {"enumerate", "reversed", "iter"} | MATERIALIZERS
+
+WAIVER_RE = re.compile(r"#\s*contract:\s*(?P<reason>.+?)\s*$")
+
+_LOOP_NODES = (ast.For, ast.AsyncFor)
+_COMP_NODES = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+# ----------------------------------------------------------------------
+# data model
+# ----------------------------------------------------------------------
+@dataclass
+class StaticContract:
+    """A contract as read from the decorator syntax (no import needed)."""
+
+    kind: str
+    bound: str
+    sized: tuple[str, ...] = ()
+
+    @property
+    def constant(self) -> bool:
+        return self.kind == "constant_time" or (
+            self.kind == "delay" and self.bound == "O(1)"
+        )
+
+
+@dataclass(eq=False)  # identity hash: one instance per definition
+class FuncInfo:
+    qualname: str  # module.Class.name or module.name
+    module: str
+    name: str
+    cls: str | None  # owning class qualname, if a method
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    contract: StaticContract | None
+    path: Path
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    module: str
+    node: ast.ClassDef
+    methods: dict[str, FuncInfo] = field(default_factory=dict)
+    attr_types: dict[str, set] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    path: Path
+    tree: ast.Module
+    names: dict[str, str] = field(default_factory=dict)  # local -> qualified
+    waivers: dict[int, str] = field(default_factory=dict)  # line -> reason
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    col: int
+    rule: str
+    function: str
+    message: str
+    waived: bool = False
+    waiver: str | None = None
+
+    @property
+    def severity(self) -> str:
+        return "note" if self.waived else "error"
+
+    def to_dict(self) -> dict:
+        return {
+            "file": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "title": RULE_TITLES[self.rule],
+            "function": self.function,
+            "message": self.message,
+            "severity": self.severity,
+            "waived": self.waived,
+            "waiver": self.waiver,
+        }
+
+
+@dataclass
+class Report:
+    findings: list[Finding]
+    files_checked: int
+    functions_checked: int
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": 1,
+                "files_checked": self.files_checked,
+                "functions_checked": self.functions_checked,
+                "errors": len(self.errors),
+                "waived": len(self.findings) - len(self.errors),
+                "findings": [f.to_dict() for f in self.findings],
+            },
+            indent=2,
+            sort_keys=False,
+        )
+
+    def render_text(self) -> str:
+        lines = []
+        for f in self.findings:
+            mark = "note (waived)" if f.waived else "error"
+            lines.append(
+                f"{f.path}:{f.line}:{f.col}: {f.rule} [{mark}] {f.function}: {f.message}"
+            )
+            if f.waived and f.waiver:
+                lines.append(f"    waiver: {f.waiver}")
+        lines.append(
+            f"checked {self.functions_checked} contracted functions in "
+            f"{self.files_checked} files: {len(self.errors)} error(s), "
+            f"{len(self.findings) - len(self.errors)} waived"
+        )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# type model: sets of atoms; atoms are ('cls', qualname) | ('list', frozenset)
+#             | ('tuple', (frozenset, ...))
+# ----------------------------------------------------------------------
+def _cls_atoms(types: set) -> list[str]:
+    return [atom[1] for atom in types if atom and atom[0] == "cls"]
+
+
+class ContractChecker:
+    """One checking run over a set of files/directories."""
+
+    def __init__(self, paths: list[str | Path]) -> None:
+        self.files = _collect_files(paths)
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FuncInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._return_types: dict[str, set] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> Report:
+        for path in self.files:
+            self._index_file(path)
+        for cls in self.classes.values():
+            self._infer_attr_types(cls)
+        contracted = [f for f in self.functions.values() if f.contract is not None]
+        findings: list[Finding] = []
+        call_edges: dict[str, list[tuple[int, int, set[str]]]] = {}
+        for fn in contracted:
+            findings.extend(self._check_function(fn, call_edges))
+        findings.extend(self._check_recursion(contracted, call_edges))
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        deduped: list[Finding] = []
+        seen = set()
+        for f in findings:
+            key = (f.path, f.line, f.rule, f.message)
+            if key not in seen:
+                seen.add(key)
+                deduped.append(f)
+        return Report(deduped, len(self.files), len(contracted))
+
+    # ------------------------------------------------------------------
+    # pass A: indexing
+    # ------------------------------------------------------------------
+    def _index_file(self, path: Path) -> None:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            return
+        name = _module_name(path)
+        module = ModuleInfo(name, path, tree, waivers=_waivers(source))
+        self.modules[name] = module
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    module.names[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(stmt, ast.ImportFrom) and stmt.module and stmt.level == 0:
+                for alias in stmt.names:
+                    module.names[alias.asname or alias.name] = (
+                        f"{stmt.module}.{alias.name}"
+                    )
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, stmt, cls=None, path=path)
+            elif isinstance(stmt, ast.ClassDef):
+                qual = f"{name}.{stmt.name}"
+                info = ClassInfo(qual, name, stmt)
+                self.classes[qual] = info
+                module.names[stmt.name] = qual
+                for sub in stmt.body:
+                    if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fn = self._add_function(module, sub, cls=qual, path=path)
+                        info.methods[sub.name] = fn
+
+    def _add_function(
+        self,
+        module: ModuleInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        cls: str | None,
+        path: Path,
+    ) -> FuncInfo:
+        owner = cls if cls is not None else module.name
+        qual = f"{owner}.{node.name}"
+        info = FuncInfo(
+            qualname=qual,
+            module=module.name,
+            name=node.name,
+            cls=cls,
+            node=node,
+            contract=_contract_from_decorators(node),
+            path=path,
+        )
+        self.functions[qual] = info
+        if cls is None:
+            module.names.setdefault(node.name, qual)
+        return info
+
+    # ------------------------------------------------------------------
+    # pass B: attribute-type inference per class
+    # ------------------------------------------------------------------
+    def _infer_attr_types(self, cls: ClassInfo) -> None:
+        module = self.modules[cls.module]
+        for stmt in cls.node.body:  # dataclass-style fields
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                cls.attr_types.setdefault(stmt.target.id, set()).update(
+                    self._annotation_types(stmt.annotation, module)
+                )
+        for method in cls.methods.values():
+            if _is_property(method.node) and method.node.returns is not None:
+                cls.attr_types.setdefault(method.name, set()).update(
+                    self._annotation_types(method.node.returns, module)
+                )
+            env = self._param_env(method)
+            for node in ast.walk(method.node):
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign):
+                    targets = [node.target]
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    if isinstance(node, ast.AnnAssign):
+                        inferred = self._annotation_types(node.annotation, module)
+                    elif value is not None:
+                        inferred = self._expr_types(value, env, module, cls.qualname)
+                    else:
+                        inferred = set()
+                    if inferred:
+                        cls.attr_types.setdefault(target.attr, set()).update(inferred)
+
+    # ------------------------------------------------------------------
+    # annotations & expressions -> types
+    # ------------------------------------------------------------------
+    def _annotation_types(self, node: ast.expr | None, module: ModuleInfo) -> set:
+        if node is None:
+            return set()
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return set()
+            return self._annotation_types(parsed, module)
+        if isinstance(node, ast.Name):
+            qual = module.names.get(node.id, node.id)
+            if qual in self.classes:
+                return {("cls", qual)}
+            return set()
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+            return self._annotation_types(node.left, module) | self._annotation_types(
+                node.right, module
+            )
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            base_name = base.id if isinstance(base, ast.Name) else getattr(base, "attr", "")
+            slices = (
+                list(node.slice.elts)
+                if isinstance(node.slice, ast.Tuple)
+                else [node.slice]
+            )
+            if base_name in ("list", "List", "Sequence", "Iterable", "Iterator"):
+                return {("list", frozenset(self._annotation_types(slices[0], module)))}
+            if base_name in ("tuple", "Tuple"):
+                return {
+                    (
+                        "tuple",
+                        tuple(
+                            frozenset(self._annotation_types(s, module)) for s in slices
+                        ),
+                    )
+                }
+            if base_name in ("Optional", "Union"):
+                out: set = set()
+                for s in slices:
+                    out |= self._annotation_types(s, module)
+                return out
+            return set()
+        return set()
+
+    def _param_env(self, fn: FuncInfo) -> dict[str, set]:
+        module = self.modules[fn.module]
+        env: dict[str, set] = {}
+        args = fn.node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            types = self._annotation_types(arg.annotation, module)
+            if types:
+                env[arg.arg] = types
+        return env
+
+    def _return_types_of(self, fn: FuncInfo) -> set:
+        cached = self._return_types.get(fn.qualname)
+        if cached is None:
+            cached = self._annotation_types(fn.node.returns, self.modules[fn.module])
+            self._return_types[fn.qualname] = cached
+        return cached
+
+    def _expr_types(
+        self, node: ast.expr, env: dict[str, set], module: ModuleInfo, cls: str | None
+    ) -> set:
+        if isinstance(node, ast.Name):
+            if node.id == "self" and cls is not None:
+                return {("cls", cls)}
+            return env.get(node.id, set())
+        if isinstance(node, ast.Attribute):
+            out: set = set()
+            for qual in _cls_atoms(self._expr_types(node.value, env, module, cls)):
+                info = self.classes.get(qual)
+                if info is not None:
+                    out |= info.attr_types.get(node.attr, set())
+            return out
+        if isinstance(node, ast.Call):
+            resolved = self._resolve_call(node, env, module, cls)
+            if resolved is None:
+                return set()
+            kind, payload = resolved
+            if kind == "class":
+                return {("cls", payload)}
+            out = set()
+            for fn in payload:
+                out |= self._return_types_of(fn)
+            return out
+        if isinstance(node, ast.BoolOp):
+            out = set()
+            for value in node.values:
+                out |= self._expr_types(value, env, module, cls)
+            return out
+        if isinstance(node, ast.IfExp):
+            return self._expr_types(node.body, env, module, cls) | self._expr_types(
+                node.orelse, env, module, cls
+            )
+        if isinstance(node, ast.Subscript):
+            out = set()
+            for atom in self._expr_types(node.value, env, module, cls):
+                if atom[0] == "list":
+                    out |= set(atom[1])
+                elif atom[0] == "tuple":
+                    if isinstance(node.slice, ast.Constant) and isinstance(
+                        node.slice.value, int
+                    ):
+                        index = node.slice.value
+                        if -len(atom[1]) <= index < len(atom[1]):
+                            out |= set(atom[1][index])
+                    else:
+                        for slot in atom[1]:
+                            out |= set(slot)
+            return out
+        return set()
+
+    # ------------------------------------------------------------------
+    # call resolution
+    # ------------------------------------------------------------------
+    def _resolve_call(
+        self, call: ast.Call, env: dict[str, set], module: ModuleInfo, cls: str | None
+    ) -> tuple[str, object] | None:
+        """``('funcs', set[FuncInfo])`` or ``('class', qualname)`` or None."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            qual = module.names.get(func.id)
+            if qual is None:
+                return None
+            if qual in self.functions:
+                return ("funcs", {self.functions[qual]})
+            if qual in self.classes:
+                return ("class", qual)
+            return None
+        if isinstance(func, ast.Attribute):
+            candidates: set[FuncInfo] = set()
+            for qual in _cls_atoms(self._expr_types(func.value, env, module, cls)):
+                info = self.classes.get(qual)
+                if info is None:
+                    continue
+                method = info.methods.get(func.attr)
+                if method is not None:
+                    candidates.add(method)
+            if candidates:
+                return ("funcs", candidates)
+            return None
+        return None
+
+    # ------------------------------------------------------------------
+    # pass C: per-function rules
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        fn: FuncInfo,
+        call_edges: dict[str, list[tuple[int, int, set[str]]]],
+    ) -> list[Finding]:
+        contract = fn.contract
+        assert contract is not None
+        if contract.kind == "amortized":
+            return []  # the declared escape: exempt, but callers are checked
+        module = self.modules[fn.module]
+        env = self._build_env(fn)
+        findings: list[Finding] = []
+
+        if contract.kind == "pseudo_linear":
+            self._check_sized_nesting(fn, env, module, contract, findings)
+            return findings
+
+        # constant_time / delay contexts -----------------------------------
+        for node in ast.walk(fn.node):
+            if isinstance(node, _LOOP_NODES):
+                if self._is_sized(node.iter, env, module, fn.cls, contract):
+                    findings.append(
+                        self._finding(
+                            fn,
+                            node,
+                            RULE_SIZED_LOOP,
+                            f"loop iterates over a graph-sized collection "
+                            f"({ast.unparse(node.iter)}) inside a "
+                            f"{contract.bound} context",
+                            module,
+                        )
+                    )
+            elif isinstance(node, _COMP_NODES):
+                for gen in node.generators:
+                    if self._is_sized(gen.iter, env, module, fn.cls, contract):
+                        findings.append(
+                            self._finding(
+                                fn,
+                                node,
+                                RULE_SIZED_LOOP,
+                                f"comprehension iterates over a graph-sized "
+                                f"collection ({ast.unparse(gen.iter)}) inside a "
+                                f"{contract.bound} context",
+                                module,
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in MATERIALIZERS
+                    and node.args
+                    and self._is_sized(node.args[0], env, module, fn.cls, contract)
+                ):
+                    findings.append(
+                        self._finding(
+                            fn,
+                            node,
+                            RULE_SIZED_LOOP,
+                            f"{func.id}() materializes a graph-sized collection "
+                            f"({ast.unparse(node.args[0])}) inside a "
+                            f"{contract.bound} context",
+                            module,
+                        )
+                    )
+
+        if not contract.constant:
+            return findings  # slower @delay bounds: only the sized-loop rule
+
+        edges = call_edges.setdefault(fn.qualname, [])
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self._resolve_call(node, env, module, fn.cls)
+            if resolved is None or resolved[0] != "funcs":
+                continue
+            callees: set[FuncInfo] = resolved[1]  # type: ignore[assignment]
+            edges.append(
+                (node.lineno, node.col_offset, {c.qualname for c in callees})
+            )
+            offenders = [
+                c for c in callees if c.contract is None or not c.contract.constant
+            ]
+            if offenders:
+                detail = ", ".join(
+                    f"{c.qualname} "
+                    f"[{c.contract.kind + ' ' + c.contract.bound if c.contract else 'unannotated'}]"
+                    for c in sorted(offenders, key=lambda c: c.qualname)
+                )
+                findings.append(
+                    self._finding(
+                        fn,
+                        node,
+                        RULE_CALLEE,
+                        f"call may dispatch to a non-constant-time callee: {detail}",
+                        module,
+                    )
+                )
+        return findings
+
+    def _check_sized_nesting(
+        self,
+        fn: FuncInfo,
+        env: dict[str, set],
+        module: ModuleInfo,
+        contract: StaticContract,
+        findings: list[Finding],
+    ) -> None:
+        def walk(node: ast.AST, depth: int) -> None:
+            for child in ast.iter_child_nodes(node):
+                child_depth = depth
+                if isinstance(child, _LOOP_NODES):
+                    if self._is_sized(child.iter, env, module, fn.cls, contract):
+                        child_depth += 1
+                elif isinstance(child, _COMP_NODES):
+                    if any(
+                        self._is_sized(g.iter, env, module, fn.cls, contract)
+                        for g in child.generators
+                    ):
+                        child_depth += 1
+                if child_depth >= 2 and child_depth > depth:
+                    findings.append(
+                        self._finding(
+                            fn,
+                            child,
+                            RULE_NESTED_SIZED,
+                            "graph-sized loop nested inside another graph-sized "
+                            "loop in a pseudo-linear context (quadratic risk)",
+                            module,
+                        )
+                    )
+                walk(child, child_depth)
+
+        walk(fn.node, 0)
+
+    def _check_recursion(
+        self,
+        contracted: list[FuncInfo],
+        call_edges: dict[str, list[tuple[int, int, set[str]]]],
+    ) -> list[Finding]:
+        """Cycles through the resolved call graph of constant-time functions."""
+        constant = {
+            f.qualname: f
+            for f in contracted
+            if f.contract is not None and f.contract.constant
+        }
+        adjacency: dict[str, set[str]] = {
+            qual: {
+                callee
+                for _, _, callees in call_edges.get(qual, [])
+                for callee in callees
+                if callee in constant
+            }
+            for qual in constant
+        }
+
+        def reaches(start: str, goal: str) -> bool:
+            stack, seen = [start], set()
+            while stack:
+                current = stack.pop()
+                if current == goal:
+                    return True
+                if current in seen:
+                    continue
+                seen.add(current)
+                stack.extend(adjacency.get(current, ()))
+            return False
+
+        findings = []
+        for qual, fn in constant.items():
+            for line, col, callees in call_edges.get(qual, []):
+                if any(
+                    callee in constant and reaches(callee, qual) for callee in callees
+                ):
+                    module = self.modules[fn.module]
+                    findings.append(
+                        self._make_finding(
+                            fn,
+                            line,
+                            col,
+                            RULE_RECURSION,
+                            "recursive call cycle reaches this function again "
+                            "(unbounded stack depth breaks the O(1) contract)",
+                            module,
+                        )
+                    )
+        return findings
+
+    # ------------------------------------------------------------------
+    # sized-expression detection
+    # ------------------------------------------------------------------
+    def _is_sized(
+        self,
+        expr: ast.expr,
+        env: dict[str, set],
+        module: ModuleInfo,
+        cls: str | None,
+        contract: StaticContract,
+    ) -> bool:
+        if isinstance(expr, ast.Name):
+            if expr.id in contract.sized:
+                return True
+            return self._is_graphish(expr, env, module, cls)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in ALWAYS_SIZED_ATTRS:
+                return True
+            return expr.attr in GRAPH_SIZED_ATTRS and self._is_graphish(
+                expr.value, env, module, cls
+            )
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Attribute):
+                return func.attr in GRAPH_SIZED_ATTRS and self._is_graphish(
+                    func.value, env, module, cls
+                )
+            if isinstance(func, ast.Name):
+                if func.id == "range":
+                    return any(
+                        self._mentions_n(arg, env, module, cls, contract)
+                        for arg in expr.args
+                    )
+                if func.id in FORWARDERS and expr.args:
+                    return self._is_sized(expr.args[0], env, module, cls, contract)
+            return False
+        return False
+
+    def _mentions_n(
+        self,
+        expr: ast.expr,
+        env: dict[str, set],
+        module: ModuleInfo,
+        cls: str | None,
+        contract: StaticContract,
+    ) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and node.id in ({"n"} | set(contract.sized)):
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in SIZED_RANGE_ATTRS:
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "len"
+                and node.args
+                and self._is_sized(node.args[0], env, module, cls, contract)
+            ):
+                return True
+        return False
+
+    def _is_graphish(
+        self, expr: ast.expr, env: dict[str, set], module: ModuleInfo, cls: str | None
+    ) -> bool:
+        for qual in _cls_atoms(self._expr_types(expr, env, module, cls)):
+            if qual.rsplit(".", 1)[-1] in GRAPH_CLASSES:
+                return True
+        if isinstance(expr, ast.Name):
+            return expr.id in GRAPH_NAME_HINTS
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in GRAPH_NAME_HINTS
+        return False
+
+    # ------------------------------------------------------------------
+    # env construction for a checked function body
+    # ------------------------------------------------------------------
+    def _build_env(self, fn: FuncInfo) -> dict[str, set]:
+        module = self.modules[fn.module]
+        env = self._param_env(fn)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                types = self._annotation_types(node.annotation, module)
+                if types:
+                    env.setdefault(node.target.id, set()).update(types)
+            elif isinstance(node, ast.Assign):
+                value_types = self._expr_types(node.value, env, module, fn.cls)
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and value_types:
+                        env.setdefault(target.id, set()).update(value_types)
+                    elif isinstance(target, ast.Tuple):
+                        for atom in value_types:
+                            if atom[0] != "tuple" or len(atom[1]) != len(target.elts):
+                                continue
+                            for element, slot in zip(target.elts, atom[1]):
+                                if isinstance(element, ast.Name) and slot:
+                                    env.setdefault(element.id, set()).update(slot)
+        return env
+
+    # ------------------------------------------------------------------
+    def _finding(
+        self,
+        fn: FuncInfo,
+        node: ast.AST,
+        rule: str,
+        message: str,
+        module: ModuleInfo,
+    ) -> Finding:
+        return self._make_finding(
+            fn, node.lineno, node.col_offset, rule, message, module
+        )
+
+    def _make_finding(
+        self,
+        fn: FuncInfo,
+        line: int,
+        col: int,
+        rule: str,
+        message: str,
+        module: ModuleInfo,
+    ) -> Finding:
+        waiver = module.waivers.get(line) or module.waivers.get(line - 1)
+        return Finding(
+            path=str(fn.path),
+            line=line,
+            col=col,
+            rule=rule,
+            function=fn.qualname,
+            message=message,
+            waived=waiver is not None,
+            waiver=waiver,
+        )
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+def _collect_files(paths: list[str | Path]) -> list[Path]:
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = set(candidate.parts)
+                if "__pycache__" in parts or any(
+                    p.endswith(".egg-info") for p in candidate.parts
+                ):
+                    continue
+                out.append(candidate)
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def _module_name(path: Path) -> str:
+    parts = list(path.with_suffix("").parts)
+    for anchor in ("repro",):
+        if anchor in parts:
+            return ".".join(parts[parts.index(anchor):])
+    return path.stem
+
+
+def _waivers(source: str) -> dict[int, str]:
+    out: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                match = WAIVER_RE.search(token.string)
+                if match:
+                    out[token.start[0]] = match.group("reason")
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _is_property(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for dec in node.decorator_list:
+        name = dec.attr if isinstance(dec, ast.Attribute) else getattr(dec, "id", None)
+        if name in ("property", "cached_property"):
+            return True
+    return False
+
+
+def _contract_from_decorators(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> StaticContract | None:
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", None)
+        if name not in CONTRACT_NAMES:
+            continue
+        bound = {"constant_time": "O(1)", "pseudo_linear": "O(n^{1+eps})"}.get(name, "")
+        sized: tuple[str, ...] = ()
+        if isinstance(dec, ast.Call):
+            if name in ("delay", "amortized") and dec.args:
+                first = dec.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    bound = first.value
+            for kw in dec.keywords:
+                if kw.arg == "sized" and isinstance(kw.value, (ast.Tuple, ast.List)):
+                    sized = tuple(
+                        e.value
+                        for e in kw.value.elts
+                        if isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    )
+        if name == "amortized" and not bound:
+            bound = "O(1)"
+        if name == "delay" and not bound:
+            bound = "O(?)"
+        return StaticContract(kind=name, bound=bound, sized=sized)
+    return None
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def check_paths(paths: list[str | Path]) -> Report:
+    """Run the checker over files/directories and return the report."""
+    return ContractChecker(paths).run()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.contracts [paths...] [--format text|json]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.contracts",
+        description="Statically check the paper's complexity contracts",
+    )
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("--format", choices=["text", "json"], default="text")
+    args = parser.parse_args(argv)
+    paths = args.paths
+    if not paths:
+        paths = [Path(__file__).resolve().parent.parent]  # the repro package
+    try:
+        report = check_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.format == "json" else report.render_text())
+    return report.exit_code

@@ -1,0 +1,209 @@
+"""The complexity-contract decorator vocabulary.
+
+A contract states the asymptotic cost of one function for fixed query
+parameters (arity ``k``, exponent ``eps``, radius ``r``) as ``n = |G|``
+grows — the paper's measurement convention throughout.
+
+========================  ====================================================
+decorator                 meaning
+========================  ====================================================
+``@constant_time``        worst-case ``O(1)`` per call (Theorem 3.1 lookups,
+                          Corollary 2.4 tests, Lemma 5.8 SKIP, ...)
+``@delay(bound)``         worst-case ``bound`` per operation; for generators,
+                          per *emitted answer* (``@delay("O(1)")`` is
+                          Corollary 2.5's constant delay and is held to the
+                          same static rules as ``@constant_time``)
+``@pseudo_linear``        total ``O(n^{1+eps})`` — the preprocessing budget
+``@amortized(bound)``     ``bound`` holds amortized, not worst-case (caches,
+                          lazy construction).  The checker exempts these but
+                          flags any un-waived call into them from a
+                          constant-time context.
+========================  ====================================================
+
+The decorators attach a :class:`Contract` to the function and return it
+**unchanged** — zero overhead on the hot path.  They also register the
+function so :func:`instrument` can later swap in counting wrappers: inside
+``with instrument() as counts:`` every call to a contracted function is
+tallied by qualified name, letting tests cross-check the static verdict
+empirically (e.g. reads per ``TrieStore.lookup`` must be flat in ``n``
+while writes per ``insert`` grow like ``n^eps`` — see
+``tests/contracts/test_decorators.py``).
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any
+
+CONSTANT_TIME = "constant_time"
+DELAY = "delay"
+PSEUDO_LINEAR = "pseudo_linear"
+AMORTIZED = "amortized"
+
+
+@dataclass(frozen=True)
+class Contract:
+    """One function's declared asymptotic bound.
+
+    Attributes
+    ----------
+    kind:
+        One of ``constant_time``, ``delay``, ``pseudo_linear``,
+        ``amortized``.
+    bound:
+        The bound as written, e.g. ``"O(1)"`` or ``"O(n^eps)"``.
+    note:
+        Free-text justification (usually the paper item being claimed).
+    sized:
+        Extra local names the checker must treat as graph-sized inside
+        this function (beyond its built-in heuristics).
+    """
+
+    kind: str
+    bound: str
+    note: str | None = None
+    sized: tuple[str, ...] = ()
+
+    @property
+    def constant(self) -> bool:
+        """Does this contract promise worst-case O(1) per operation?"""
+        return self.kind == CONSTANT_TIME or (
+            self.kind == DELAY and self.bound == "O(1)"
+        )
+
+
+#: Raw decorated functions, in decoration order (instrumentation targets).
+_REGISTRY: list[Callable] = []
+
+
+def _attach(fn: Callable, contract: Contract) -> Callable:
+    fn.__contract__ = contract  # type: ignore[attr-defined]
+    _REGISTRY.append(fn)
+    return fn
+
+
+def constant_time(
+    fn: Callable | None = None,
+    *,
+    note: str | None = None,
+    sized: tuple[str, ...] = (),
+) -> Callable:
+    """Declare worst-case O(1) per call (for fixed k, eps, r)."""
+    contract = Contract(CONSTANT_TIME, "O(1)", note, tuple(sized))
+    if fn is None:
+        return lambda f: _attach(f, contract)
+    return _attach(fn, contract)
+
+
+def delay(
+    bound: str, *, note: str | None = None, sized: tuple[str, ...] = ()
+) -> Callable:
+    """Declare a worst-case per-operation (per-answer, for generators) bound."""
+    contract = Contract(DELAY, bound, note, tuple(sized))
+    return lambda f: _attach(f, contract)
+
+
+def pseudo_linear(
+    fn: Callable | None = None,
+    *,
+    note: str | None = None,
+    sized: tuple[str, ...] = (),
+) -> Callable:
+    """Declare total O(n^{1+eps}) — the preprocessing budget."""
+    contract = Contract(PSEUDO_LINEAR, "O(n^{1+eps})", note, tuple(sized))
+    if fn is None:
+        return lambda f: _attach(f, contract)
+    return _attach(fn, contract)
+
+
+def amortized(
+    bound: str = "O(1)", *, note: str | None = None, sized: tuple[str, ...] = ()
+) -> Callable:
+    """Declare an amortized bound (caches, lazy builds) — the escape hatch."""
+    contract = Contract(AMORTIZED, bound, note, tuple(sized))
+    return lambda f: _attach(f, contract)
+
+
+def contract_of(obj: Any) -> Contract | None:
+    """The :class:`Contract` attached to ``obj``, if any."""
+    return getattr(obj, "__contract__", None)
+
+
+def registered_contracts() -> list[tuple[str, Contract]]:
+    """All decorated functions as ``(qualified name, contract)`` pairs."""
+    return [
+        (f"{fn.__module__}.{fn.__qualname__}", fn.__contract__)  # type: ignore[attr-defined]
+        for fn in _REGISTRY
+    ]
+
+
+# ----------------------------------------------------------------------
+# runtime instrumentation (the empirical cross-check)
+# ----------------------------------------------------------------------
+def _resolve_slot(fn: Callable) -> tuple[Any, str] | None:
+    """The (owner, attribute) pair through which ``fn`` is reached at call
+    time — its module for top-level functions, its class for methods.
+    Functions defined inside other functions cannot be patched."""
+    parts = fn.__qualname__.split(".")
+    if "<locals>" in parts:
+        return None
+    owner: Any = sys.modules.get(fn.__module__)
+    for part in parts[:-1]:
+        owner = getattr(owner, part, None)
+        if owner is None:
+            return None
+    name = parts[-1]
+    slot = owner.__dict__.get(name) if hasattr(owner, "__dict__") else None
+    underlying = slot.__func__ if isinstance(slot, (staticmethod, classmethod)) else slot
+    if underlying is not fn:
+        return None  # already wrapped, shadowed, or property-wrapped
+    return owner, name
+
+
+def _counting_wrapper(fn: Callable, counts: dict[str, int]) -> Callable:
+    import functools
+
+    qualname = f"{fn.__module__}.{fn.__qualname__}"
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        counts[qualname] = counts.get(qualname, 0) + 1
+        return fn(*args, **kwargs)
+
+    return wrapper
+
+
+@contextmanager
+def instrument() -> Iterator[dict[str, int]]:
+    """Count calls to every contracted function while the context is open.
+
+    Yields a dict mapping qualified names to call counts, updated live.
+    Patches are applied to the owning module/class and fully reverted on
+    exit, so the zero-overhead property of the decorators is preserved
+    outside the context.  The primitive-operation counts this produces are
+    what ``analysis.flatness`` / ``analysis.fit_exponent`` consume to
+    verify the contracts empirically.
+    """
+    counts: dict[str, int] = {}
+    patched: list[tuple[Any, str, Any]] = []
+    try:
+        for fn in list(_REGISTRY):
+            resolved = _resolve_slot(fn)
+            if resolved is None:
+                continue
+            owner, name = resolved
+            original = owner.__dict__[name]
+            wrapper: Any = _counting_wrapper(fn, counts)
+            if isinstance(original, staticmethod):
+                wrapper = staticmethod(wrapper)
+            elif isinstance(original, classmethod):
+                wrapper = classmethod(wrapper)
+            setattr(owner, name, wrapper)
+            patched.append((owner, name, original))
+        yield counts
+    finally:
+        for owner, name, original in reversed(patched):
+            setattr(owner, name, original)

@@ -18,13 +18,13 @@ Layers, bottom to top:
 
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.counting import CountingIndex, count_solutions
-from repro.core.dynamic import DynamicUnaryIndex
 from repro.core.distance_index import DistanceIndex
+from repro.core.dynamic import DynamicUnaryIndex
 from repro.core.engine import QueryIndex, build_index
 from repro.core.enumeration import enumerate_solutions, enumerate_with_delays
 from repro.core.last_coordinate import LastCoordinateIndex
 from repro.core.next_solution import NextSolutionIndex, increment_tuple
-from repro.core.normal_form import DecompositionError, Decomposition, decompose
+from repro.core.normal_form import Decomposition, DecompositionError, decompose
 from repro.core.skip_pointers import SkipPointers
 from repro.core.unary import UnaryIndex, model_check, unary_solutions
 

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, insort
 
+from repro.contracts import amortized, pseudo_linear
 from repro.core.local_eval import LocalEvaluator
 from repro.core.removal import RemovalResult, remove_vertex, rewrite_without_vertex
 from repro.graphs.colored_graph import ColoredGraph
@@ -53,6 +54,7 @@ class BagSolver:
         produced by the Removal Lemma once, at construction).
     """
 
+    @pseudo_linear(note="Steps 8-10: splitter choice + removal recursion")
     def __init__(
         self,
         graph: ColoredGraph,
@@ -110,6 +112,7 @@ class BagSolver:
     # ------------------------------------------------------------------
     # testing (Step 11 / Corollary 2.4 inside the bag)
     # ------------------------------------------------------------------
+    @amortized("O(1)", note="memoized per (psi, values); first query pays the walk")
     def test(self, psi: Formula, free_order: tuple[Var, ...], values: tuple[int, ...]) -> bool:
         """Does the bag satisfy ``psi(values)``?  (Step 11 functionality.)"""
         if self._mode == "naive":
@@ -130,6 +133,7 @@ class BagSolver:
     # ------------------------------------------------------------------
     # last-coordinate search (Step 10 / the answering-phase candidates)
     # ------------------------------------------------------------------
+    @amortized("O(1)", note="memoized per (psi, prefix); served by lookup after")
     def column(
         self,
         psi: Formula,
@@ -169,6 +173,7 @@ class BagSolver:
         self._column_cache[key] = out
         return out
 
+    @amortized("O(1)", note="binary search over the memoized column")
     def first_at_least(
         self,
         psi: Formula,

@@ -29,6 +29,7 @@ per (live-subset, bag) — pseudo-linear on sparse inputs, and crucially
 
 from __future__ import annotations
 
+from repro.contracts import amortized, pseudo_linear
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.enumeration import enumerate_solutions
 from repro.core.next_solution import NextSolutionIndex
@@ -43,6 +44,7 @@ class CountingIndex:
     construction performs Theorem 2.3's preprocessing once and reuses it.
     """
 
+    @pseudo_linear(note="Theorem 2.3 preprocessing, shared with enumeration")
     def __init__(
         self,
         graph: ColoredGraph,
@@ -72,6 +74,7 @@ class CountingIndex:
             return sum(self.count_suffixes(a) for a in self.graph.vertices())
         return sum(1 for _ in enumerate_solutions(self.index))
 
+    @amortized("O(1)", note="bag-sized work on first query per vertex, then cached")
     def count_suffixes(self, a: int) -> int:
         """``|{b : (a, b) ∈ q(G)}|`` — constant amortized time for k = 2."""
         if self.k != 2:

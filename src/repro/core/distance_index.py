@@ -21,6 +21,7 @@ through it (``R_i(a) ∧ R_j(b)`` with ``i+j <= r``), with the ``a = s_X`` /
 
 from __future__ import annotations
 
+from repro.contracts import constant_time, pseudo_linear
 from repro.covers.neighborhood_cover import build_cover
 from repro.graphs.colored_graph import ColoredGraph
 from repro.graphs.neighborhoods import bounded_bfs
@@ -83,6 +84,7 @@ class DistanceIndex:
     # ------------------------------------------------------------------
     # preprocessing
     # ------------------------------------------------------------------
+    @pseudo_linear(note="Step 1 cutoff: bounded BFS per vertex, n bounded")
     def _build_naive(self) -> None:
         """Step 1: full result for small / edgeless graphs."""
         self._mode = "naive"
@@ -93,6 +95,7 @@ class DistanceIndex:
             for b, d in bounded_bfs(self.graph, [a], self.radius).items():
                 self._pairs[(a, b)] = d
 
+    @pseudo_linear(note="Steps 2-5: cover + per-bag splitter recursion")
     def _build_recursive(self) -> None:
         self._mode = "cover"
         graph, r = self.graph, self.radius
@@ -137,6 +140,7 @@ class DistanceIndex:
     # ------------------------------------------------------------------
     # query (Section 4.2.2)
     # ------------------------------------------------------------------
+    @constant_time(note="Proposition 4.2 answering phase")
     def test(self, a: int, b: int) -> bool:
         """Is ``dist(a, b) <= radius``?  Constant time."""
         if a == b:
@@ -158,8 +162,10 @@ class DistanceIndex:
         if da is not None and db is not None and da + db <= self.radius:
             return True  # a path through s_X
         translate = self._to_child[bag_id]
+        # contract: depth-capped recursion — lambda(2r) levels, a constant
         return self._children[bag_id].test(translate[a], translate[b])
 
+    @constant_time(note="graded refinement of Proposition 4.2")
     def distance(self, a: int, b: int) -> int | None:
         """The exact distance when ``<= radius``, else None.  Constant time.
 
@@ -188,6 +194,7 @@ class DistanceIndex:
         if da is not None and db is not None and da + db <= self.radius:
             best = da + db  # the best path through s_X
         translate = self._to_child[bag_id]
+        # contract: depth-capped recursion — lambda(2r) levels, a constant
         avoiding = self._children[bag_id].distance(translate[a], translate[b])
         if avoiding is not None and (best is None or avoiding < best):
             best = avoiding

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Iterator
 
+from repro.contracts import constant_time
+
 #: Guard against exponentially many types for silly arities.
 MAX_TYPE_ARITY = 6
 
@@ -29,10 +31,12 @@ class DistanceType:
             if len(edge) != 2 or not all(0 <= i < self.k for i in edge):
                 raise ValueError(f"invalid type edge {set(edge)} for arity {self.k}")
 
+    @constant_time(note="one frozenset probe")
     def has_edge(self, i: int, j: int) -> bool:
         """Are positions ``i`` and ``j`` within distance r under this type?"""
         return frozenset((i, j)) in self.edges
 
+    @constant_time(note="union-find over k positions, k fixed")
     def components(self) -> list[frozenset[int]]:
         """Connected components, sorted by smallest member."""
         parent = list(range(self.k))
@@ -49,14 +53,16 @@ class DistanceType:
         groups: dict[int, set[int]] = {}
         for i in range(self.k):
             groups.setdefault(find(i), set()).add(i)
-        return sorted((frozenset(g) for g in groups.values()), key=min)
+        return sorted((frozenset(group) for group in groups.values()), key=min)
 
+    @constant_time
     def component_of(self, position: int) -> frozenset[int]:
         for component in self.components():
             if position in component:
                 return component
         raise ValueError(f"position {position} out of range")  # pragma: no cover
 
+    @constant_time(note="induced sub-type on at most k positions")
     def restrict(self, positions: frozenset[int]) -> "DistanceType":
         """The induced sub-type on ``positions``, relabeled to ``0..|P|-1``."""
         order = sorted(positions)
@@ -89,6 +95,7 @@ def all_types(k: int) -> Iterator[DistanceType]:
         yield DistanceType(k, edges)
 
 
+@constant_time(note="k^2 oracle calls, k fixed")
 def type_of(values: tuple[int, ...], close) -> DistanceType:
     """The distance type of ``values`` under the closeness oracle.
 
@@ -104,6 +111,7 @@ def type_of(values: tuple[int, ...], close) -> DistanceType:
     return DistanceType(k, frozenset(edges))
 
 
+@constant_time
 def prefix_consistent(tau: DistanceType, prefix_type: DistanceType) -> bool:
     """Does ``tau`` restricted to the first ``k-1`` positions equal
     ``prefix_type``?  (The answering phase's first filter.)"""

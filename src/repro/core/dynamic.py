@@ -18,6 +18,7 @@ short of logarithmic-update techniques).
 
 from __future__ import annotations
 
+from repro.contracts import constant_time, delay, pseudo_linear
 from repro.core.normal_form import DecompositionError, locality_radius, normalize
 from repro.graphs.colored_graph import ColoredGraph
 from repro.graphs.neighborhoods import bounded_bfs
@@ -54,6 +55,7 @@ class DynamicUnaryIndex:
     [3, 5]
     """
 
+    @pseudo_linear(note="one ball-local evaluation per vertex")
     def __init__(
         self,
         graph: ColoredGraph,
@@ -102,11 +104,13 @@ class DynamicUnaryIndex:
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
+    @delay("O(ball + n^eps)", note="repairs only N_rho(v) plus the store edit")
     def add_color(self, name: str, v: int) -> None:
         """Give ``v`` color ``name`` and repair the index (ball-sized work)."""
         self.graph.add_to_color(name, v)
         self._refresh(v)
 
+    @delay("O(ball + n^eps)", note="repairs only N_rho(v) plus the store edit")
     def remove_color(self, name: str, v: int) -> None:
         """Remove color ``name`` from ``v`` and repair the index."""
         self.graph.discard_from_color(name, v)
@@ -115,10 +119,12 @@ class DynamicUnaryIndex:
     # ------------------------------------------------------------------
     # queries (constant time, as in the static index)
     # ------------------------------------------------------------------
+    @constant_time(note="queries stay constant-time under updates")
     def test(self, v: int) -> bool:
         """Constant-time membership (Corollary 2.4's contract)."""
         return v in self._members
 
+    @constant_time(note="one stored-function successor query")
     def next_solution(self, lower: int) -> int | None:
         """Smallest solution >= lower, via the Storing structure."""
         if lower >= self.graph.n:

@@ -15,6 +15,7 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.baselines.naive import NaiveIndex
+from repro.contracts import constant_time, delay, pseudo_linear
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.enumeration import enumerate_solutions
 from repro.core.next_solution import NextSolutionIndex
@@ -55,14 +56,17 @@ class QueryIndex:
         """Whether the constant-delay guarantee holds end to end."""
         return getattr(self._impl, "exact_delay", True)
 
+    @constant_time(note="Corollary 2.4 via the chosen implementation")
     def test(self, values: Sequence[int]) -> bool:
         """Corollary 2.4: constant-time membership testing."""
         return self._impl.test(tuple(values))
 
+    @constant_time(note="Theorem 2.3 via the chosen implementation")
     def next_solution(self, start: Sequence[int]) -> tuple[int, ...] | None:
         """Theorem 2.3: smallest solution ``>= start`` (lexicographic)."""
         return self._impl.next_solution(tuple(start))
 
+    @delay("O(1)", note="Corollary 2.5; naive fallback materializes upfront")
     def enumerate(
         self, start: Sequence[int] | None = None
     ) -> Iterator[tuple[int, ...]]:
@@ -127,6 +131,7 @@ class QueryIndex:
         return out
 
 
+@pseudo_linear(note="Theorem 2.3 preprocessing (or naive fallback)")
 def build_index(
     graph: ColoredGraph,
     query: Formula | str,

@@ -10,9 +10,11 @@ from __future__ import annotations
 import time
 from collections.abc import Iterator
 
+from repro.contracts import delay
 from repro.core.next_solution import NextSolutionIndex, increment_tuple
 
 
+@delay("O(1)", note="Corollary 2.5: one next_solution call per answer")
 def enumerate_solutions(
     index: NextSolutionIndex,
     start: tuple[int, ...] | None = None,

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from bisect import bisect_left
 
+from repro.contracts import amortized, constant_time, pseudo_linear
 from repro.core.bag_solver import BagSolver
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.distance_index import DistanceIndex
@@ -62,6 +63,7 @@ KERNEL_COLOR = "@K"
 class LastCoordinateIndex:
     """Lemma 5.2 for a fixed query; see the module docstring."""
 
+    @pseudo_linear(note="Section 5.2.1 preprocessing, Steps 2-13")
     def __init__(
         self,
         graph: ColoredGraph,
@@ -108,6 +110,7 @@ class LastCoordinateIndex:
     # ------------------------------------------------------------------
     # lazy per-bag machinery
     # ------------------------------------------------------------------
+    @amortized("O(1)", note="lazy per-bag build; cached thereafter (Steps 8-11)")
     def _solver(self, bag_id: int) -> tuple[BagSolver, dict[int, int], list[int]]:
         entry = self._solvers.get(bag_id)
         if entry is None:
@@ -126,6 +129,7 @@ class LastCoordinateIndex:
             self._solvers[bag_id] = entry
         return entry
 
+    @amortized("O(1)", note="one model check per distinct sentence, then cached")
     def _sentence_true(self, sentence: Formula) -> bool:
         if isinstance(sentence, Top):
             return True
@@ -135,6 +139,7 @@ class LastCoordinateIndex:
             self._sentence_cache[sentence] = cached
         return cached
 
+    @amortized("O(1)", note="Steps 12-13 built once per psi; precomputable via config")
     def _far_structures(self, psi: Formula) -> tuple[list[int], SkipPointers]:
         """Step 12 (the list ``L``) and Step 13 (skip pointers) for one
         singleton local formula ``psi(x_k)``."""
@@ -168,6 +173,7 @@ class LastCoordinateIndex:
     # ------------------------------------------------------------------
     # bag queries (the paper's Ψ^i_{τ,J,p}, Step 7)
     # ------------------------------------------------------------------
+    @amortized("O(1)", note="query built once per (alt, tau, J, p), then cached")
     def _bag_query(
         self, alt: Alternative, tau: DistanceType, component: frozenset[int], p: int
     ) -> tuple[Formula, tuple[Var, ...]]:
@@ -199,6 +205,7 @@ class LastCoordinateIndex:
     # ------------------------------------------------------------------
     # answering phase (Section 5.2.2)
     # ------------------------------------------------------------------
+    @constant_time(note="Lemma 5.2: constantly many (tau, alt) candidates")
     def first_last(self, prefix: tuple[int, ...], lower: int) -> int | None:
         """Smallest ``b' >= lower`` with ``G |= phi(prefix, b')``; None if none."""
         if len(prefix) != self.k - 1:
@@ -222,6 +229,7 @@ class LastCoordinateIndex:
                     best = candidate
         return best
 
+    @constant_time(note="Corollary 2.4 via one first_last call")
     def test(self, values: tuple[int, ...]) -> bool:
         """Corollary 2.4: is ``values`` a solution?  Constant time."""
         if len(values) != self.k:
@@ -229,6 +237,7 @@ class LastCoordinateIndex:
         return self.first_last(values[:-1], values[-1]) == values[-1]
 
     # -- per-(tau, alternative) candidate ---------------------------------
+    @constant_time(note="one candidate per (tau, alternative)")
     def _candidate(
         self,
         tau: DistanceType,
@@ -236,6 +245,7 @@ class LastCoordinateIndex:
         prefix: tuple[int, ...],
         lower: int,
     ) -> int | None:
+        # contract: amortized — cached after the first check of this sentence
         if not self._sentence_true(alt.sentence):
             return None
         last = self.k - 1
@@ -250,11 +260,13 @@ class LastCoordinateIndex:
             return self._case_far(tau, alt, prefix, lower)
         return self._case_near(tau, alt, component_of_last, prefix, lower)
 
+    @constant_time(note="one memoized bag test")
     def _test_component(
         self, positions: frozenset[int], psi: Formula, prefix: tuple[int, ...]
     ) -> bool:
         anchor = prefix[min(positions)]
         bag_id = self.cover.bag_of(anchor)
+        # contract: amortized — lazy solver build, cached per bag
         solver, to_new, _ = self._solver(bag_id)
         variables = tuple(self.free_order[i] for i in sorted(positions))
         try:
@@ -263,8 +275,10 @@ class LastCoordinateIndex:
             # a component member escaped the bag: impossible for a prefix of
             # this distance type, so the alternative cannot match
             return False
+        # contract: amortized — BagSolver.test is memoized per key
         return solver.test(psi, variables, values)
 
+    @constant_time(note="Case II: one kernel search in the j*-bag")
     def _case_near(
         self,
         tau: DistanceType,
@@ -277,12 +291,14 @@ class LastCoordinateIndex:
         last = self.k - 1
         j_star = min(j for j in component if j != last and tau.has_edge(j, last))
         bag_id = self.cover.bag_of(prefix[j_star])
+        # contract: amortized — lazy solver build, cached per bag
         solver, to_new, to_old = self._solver(bag_id)
         strangers = [
             prefix[i]
             for i in range(last)
             if i not in component and self.cover.contains(bag_id, prefix[i])
         ]
+        # contract: amortized — query construction cached per (alt, tau, J, p)
         query, prefix_vars = self._bag_query(alt, tau, component, len(strangers))
         try:
             close_values = [to_new[prefix[j]] for j in sorted(component - {last})]
@@ -293,9 +309,11 @@ class LastCoordinateIndex:
         if local_lower >= len(to_old):
             return None
         last_var = self.free_order[-1]
+        # contract: amortized — served from the memoized column after first use
         found = solver.first_at_least(query, prefix_vars, values, last_var, local_lower)
         return None if found is None else to_old[found]
 
+    @constant_time(note="Case I: 2k'+1 candidates (Section 5.2.2)")
     def _case_far(
         self,
         tau: DistanceType,
@@ -306,19 +324,23 @@ class LastCoordinateIndex:
         """Case I: ``x_k`` far from every prefix position."""
         last = self.k - 1
         psi = alt.local_for(frozenset((last,)))
+        # contract: amortized — Steps 12-13 built once per psi (precomputable)
         _, skips = self._far_structures(psi)
         bag_ids = sorted({self.cover.bag_of(a) for a in prefix})
         last_var = self.free_order[-1]
         best: int | None = None
         for bag_id in bag_ids:
+            # contract: amortized — lazy solver build, cached per bag
             solver, to_new, to_old = self._solver(bag_id)
             strangers = [a for a in prefix if self.cover.contains(bag_id, a)]
+            # contract: amortized — query construction cached per (alt, tau, J, p)
             query, prefix_vars = self._bag_query(
                 alt, tau, frozenset((last,)), len(strangers)
             )
             local_lower = bisect_left(to_old, lower)
             if local_lower >= len(to_old):
                 continue
+            # contract: amortized — served from the memoized column after first use
             found = solver.first_at_least(
                 query,
                 prefix_vars,

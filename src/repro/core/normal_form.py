@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.contracts import constant_time
 from repro.core.distance_types import DistanceType, all_types
 from repro.logic.guards import deep_counterexample_guard, deep_guard
 from repro.logic.ranks import max_distance_bound
@@ -489,6 +490,7 @@ class Alternative:
     locals: tuple[tuple[frozenset[int], Formula], ...]  # (positions, psi)
     sentence: Formula
 
+    @constant_time(note="at most k single-component blocks, k fixed")
     def local_for(self, component: frozenset[int]) -> Formula:
         """``psi^i_{tau,I}`` for the given component (Top when absent)."""
         for positions, psi in self.locals:

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 from repro.graphs.colored_graph import ColoredGraph
 from repro.graphs.neighborhoods import bounded_bfs
+from repro.logic.ranks import max_distance_bound
 from repro.logic.syntax import (
     And,
     Bottom,
@@ -51,7 +52,6 @@ from repro.logic.syntax import (
     Top,
     Var,
 )
-from repro.logic.ranks import max_distance_bound
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Collection, Sequence
 
+from repro.contracts import constant_time, pseudo_linear
 from repro.storage.function_store import StoredFunction
 
 #: Marker stored for "no such element" (must be distinct from any vertex).
@@ -47,6 +48,7 @@ class SkipPointers:
         Storing-structure exponent.
     """
 
+    @pseudo_linear(note="Claim 5.10: O(n^{1+k eps}) pointers materialized")
     def __init__(
         self,
         n: int,
@@ -85,10 +87,12 @@ class SkipPointers:
     # ------------------------------------------------------------------
     # preprocessing (Claim 5.10): b from largest to smallest
     # ------------------------------------------------------------------
+    @constant_time(note="sorts at most k bag ids, k fixed")
     def _key(self, b: int, bags: frozenset[int]) -> tuple[int, ...]:
         padded = sorted(bags) + [self._sentinel] * (self.k - len(bags))
         return (b, *padded)
 
+    @pseudo_linear(note="Claim 5.10 sweep, b from largest to smallest")
     def _precompute(self) -> None:
         for b in range(self.n - 1, -1, -1):
             # seed SC(b) with singletons, then close under the SKIP rule
@@ -108,9 +112,11 @@ class SkipPointers:
     # ------------------------------------------------------------------
     # Claim 5.9 resolution
     # ------------------------------------------------------------------
+    @constant_time(note="at most k kernel membership probes")
     def _in_some_kernel(self, v: int, bags: frozenset[int]) -> bool:
         return any(v in self._kernel_sets[x] for x in bags)
 
+    @constant_time(note="Claim 5.9: constantly many hops")
     def _resolve(self, b: int, bags: frozenset[int]) -> int | None:
         """Compute SKIP(b, bags) using stored pointers of vertices > b."""
         # Case 1: b itself qualifies.
@@ -131,6 +137,7 @@ class SkipPointers:
             )  # pragma: no cover - would indicate a preprocessing bug
         return None if stored == _NULL else stored
 
+    @constant_time(note="at most k growth steps, k fixed")
     def _maximal_stored_subset(self, c: int, bags: frozenset[int]) -> frozenset[int]:
         """Greedily grow ``S' ⊆ bags`` with ``S' ∈ SC(c)`` until maximal,
         following exactly the Claim 5.9 argument."""
@@ -152,6 +159,7 @@ class SkipPointers:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    @constant_time(note="Lemma 5.8 SKIP query")
     def skip(self, b: int, bags: Collection[int]) -> int | None:
         """``SKIP(b, bags)`` in constant time; ``bags`` has at most ``k`` ids."""
         bag_set = frozenset(bags)

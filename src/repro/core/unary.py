@@ -19,6 +19,7 @@ the arity-1 case of Theorem 5.1 needs.
 
 from __future__ import annotations
 
+from repro.contracts import constant_time, pseudo_linear
 from repro.core.bag_solver import BagSolver
 from repro.core.normal_form import DecompositionError, decompose
 from repro.covers.neighborhood_cover import build_cover
@@ -29,6 +30,7 @@ from repro.logic.transform import free_variables
 from repro.storage.function_store import StoredFunction
 
 
+@pseudo_linear(note="one bag-local column per (bag, alternative)")
 def unary_solutions(
     graph: ColoredGraph,
     phi: Formula,
@@ -96,6 +98,7 @@ def unary_solutions(
 class UnaryIndex:
     """Constant-time next-solution for a unary query (Theorem 5.1, k=1)."""
 
+    @pseudo_linear(note="solution list + Theorem 3.1 store")
     def __init__(
         self,
         graph: ColoredGraph,
@@ -117,6 +120,7 @@ class UnaryIndex:
             for v in solutions:
                 self._store[(v,)] = True
 
+    @constant_time(note="one stored-function successor query")
     def next_solution(self, lower: int) -> int | None:
         """Smallest solution ``>= lower`` (None past the end)."""
         if self._store is None or lower >= self.graph.n:
@@ -124,6 +128,7 @@ class UnaryIndex:
         key = self._store.successor((max(lower, 0),))
         return None if key is None else key[0]
 
+    @constant_time
     def test(self, v: int) -> bool:
         """Constant-time membership."""
         return self._store is not None and (v,) in self._store
@@ -132,6 +137,7 @@ class UnaryIndex:
         return len(self.solutions)
 
 
+@pseudo_linear(note="Theorem 5.3 stand-in; see docstring for the fallbacks")
 def model_check(graph: ColoredGraph, sentence: Formula, eps: float = 0.5) -> bool:
     """Evaluate a sentence — the Theorem 5.3 stand-in.
 

@@ -7,7 +7,7 @@ every bag lies in some ``2r``-ball.  Kernels (Lemma 5.7) refine bags to
 the vertices whose own ``p``-ball stays inside.
 """
 
-from repro.covers.neighborhood_cover import NeighborhoodCover, build_cover
 from repro.covers.kernels import kernel_of_bag
+from repro.covers.neighborhood_cover import NeighborhoodCover, build_cover
 
 __all__ = ["NeighborhoodCover", "build_cover", "kernel_of_bag"]

@@ -14,9 +14,11 @@ from __future__ import annotations
 from collections import deque
 from collections.abc import Collection
 
+from repro.contracts import pseudo_linear
 from repro.graphs.colored_graph import ColoredGraph
 
 
+@pseudo_linear(note="Lemma 5.7: O(p * ||G[X]||) multi-source BFS")
 def kernel_of_bag(graph: ColoredGraph, bag: Collection[int], p: int) -> set[int]:
     """``K_p(X)`` for ``X = bag`` (Lemma 5.7).
 

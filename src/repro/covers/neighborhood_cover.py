@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from repro.contracts import amortized, constant_time, pseudo_linear
 from repro.graphs.colored_graph import ColoredGraph
 from repro.graphs.neighborhoods import bounded_bfs
 from repro.graphs.sparsity import degeneracy_order
@@ -40,6 +41,7 @@ class NeighborhoodCover:
     Built via :func:`build_cover`; not meant to be constructed directly.
     """
 
+    @pseudo_linear(note="membership sets + per-bag assignment lists")
     def __init__(
         self,
         graph: ColoredGraph,
@@ -73,14 +75,17 @@ class NeighborhoodCover:
         """``|X|`` — the number of bags."""
         return len(self.bags)
 
+    @constant_time(note="one array read")
     def bag_of(self, vertex: int) -> int:
         """The canonical bag id ``X(a)`` (fixed arbitrarily, as in the paper)."""
         return self.assignment[vertex]
 
+    @constant_time
     def center(self, bag_id: int) -> int:
         """``c_X``: a vertex with ``X ⊆ N_{2r}(c_X)``."""
         return self.centers[bag_id]
 
+    @constant_time(note="one hash-set probe")
     def contains(self, bag_id: int, vertex: int) -> bool:
         """Constant-time bag membership."""
         return vertex in self._member_sets[bag_id]
@@ -96,6 +101,7 @@ class NeighborhoodCover:
             self._membership_store = store
         return self._membership_store
 
+    @amortized("O(1)", note="f_X store built lazily on first ordered query")
     def next_member(self, bag_id: int, vertex: int, strict: bool = False) -> int | None:
         """Smallest member of the bag that is ``>= vertex`` (``>`` if strict).
 
@@ -145,6 +151,7 @@ class NeighborhoodCover:
         )
 
 
+@pseudo_linear(note="Theorem 4.4 greedy ball construction")
 def build_cover(
     graph: ColoredGraph,
     radius: int,

@@ -8,8 +8,8 @@ FO query over the schema rewrites (linearly in its size) to an FO query
 over ``A'(D)`` with the same answers.
 """
 
-from repro.db.database import Database, Schema
 from repro.db.adjacency import AdjacencyEncoding, adjacency_graph
+from repro.db.database import Database, Schema
 from repro.db.rewrite import rewrite_query
 
 __all__ = [

@@ -7,14 +7,6 @@ Every algorithm in :mod:`repro.core` operates on
 """
 
 from repro.graphs.colored_graph import ColoredGraph
-from repro.graphs.neighborhoods import (
-    ball,
-    bfs_distances,
-    bounded_bfs,
-    distance,
-    induced_subgraph,
-    tuple_ball,
-)
 from repro.graphs.generators import (
     binary_tree,
     bounded_degree_random_graph,
@@ -32,13 +24,21 @@ from repro.graphs.generators import (
     star,
     subdivided_clique,
 )
-from repro.graphs.validation import LocalityReport, locality_report
+from repro.graphs.neighborhoods import (
+    ball,
+    bfs_distances,
+    bounded_bfs,
+    distance,
+    induced_subgraph,
+    tuple_ball,
+)
 from repro.graphs.sparsity import (
     edge_density_exponent,
     is_edgeless,
     weak_coloring_number_upper_bound,
     weakly_accessible_counts,
 )
+from repro.graphs.validation import LocalityReport, locality_report
 
 __all__ = [
     "ColoredGraph",
@@ -53,7 +53,10 @@ __all__ = [
     "caterpillar",
     "cycle",
     "grid",
+    "hex_grid",
+    "long_cycle_with_chords",
     "outerplanar_random_graph",
+    "partial_k_tree",
     "path",
     "random_forest",
     "random_planar_like_graph",

@@ -6,6 +6,15 @@ equality.  ``FO+`` additionally allows *distance atoms* ``dist(x, y) <= d``
 quantifier rank (*q-rank*), which the paper's induction relies on.
 """
 
+from repro.logic.builders import (
+    dist_at_most,
+    dist_greater,
+    distance_type_formula,
+    independence_sentence,
+)
+from repro.logic.parser import ParseError, parse_formula
+from repro.logic.ranks import check_q_rank, f_q, q_rank_bound, quantifier_rank
+from repro.logic.semantics import evaluate, satisfies, solutions
 from repro.logic.syntax import (
     And,
     Bottom,
@@ -20,15 +29,6 @@ from repro.logic.syntax import (
     Or,
     Top,
     Var,
-)
-from repro.logic.parser import parse_formula, ParseError
-from repro.logic.semantics import evaluate, solutions, satisfies
-from repro.logic.ranks import quantifier_rank, q_rank_bound, check_q_rank, f_q
-from repro.logic.builders import (
-    dist_at_most,
-    dist_greater,
-    distance_type_formula,
-    independence_sentence,
 )
 from repro.logic.transform import (
     free_variables,

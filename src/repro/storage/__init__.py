@@ -9,8 +9,8 @@ it also maintains the dual (reverse-order) trie the paper uses for
 predecessor queries (Section 7.2.2).
 """
 
-from repro.storage.registers import RegisterFile
-from repro.storage.trie import TrieStore, HIT, MISS
 from repro.storage.function_store import StoredFunction
+from repro.storage.registers import RegisterFile
+from repro.storage.trie import HIT, MISS, TrieStore
 
 __all__ = ["RegisterFile", "TrieStore", "StoredFunction", "HIT", "MISS"]

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from typing import Any
 
+from repro.contracts import constant_time, delay
 from repro.storage.trie import HIT, MISS, TrieStore
 
 Key = tuple[int, ...]
@@ -64,9 +65,11 @@ class StoredFunction:
             self[key] = value
 
     # ------------------------------------------------------------------
+    @constant_time(note="k negations, k fixed")
     def _complement(self, key: Key) -> Key:
         return tuple(self.n - 1 - x for x in key)
 
+    @constant_time
     def _as_key(self, key) -> Key:
         if isinstance(key, int):
             key = (key,)
@@ -75,11 +78,13 @@ class StoredFunction:
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
+    @delay("O(n^eps)", note="two trie inserts")
     def __setitem__(self, key, value: Any) -> None:
         key = self._as_key(key)
         self._primary.insert(key, value)
         self._dual.insert(self._complement(key), True)
 
+    @delay("O(n^eps)", note="two trie removals")
     def __delitem__(self, key) -> None:
         key = self._as_key(key)
         self._primary.remove(key)
@@ -88,28 +93,34 @@ class StoredFunction:
     # ------------------------------------------------------------------
     # queries (all constant time for fixed k, eps)
     # ------------------------------------------------------------------
+    @constant_time(note="Theorem 3.1 lookup-or-successor")
     def lookup(self, key) -> tuple[str, Any]:
         """The paper's lookup: ``(HIT, value)`` or ``(MISS, next key or None)``."""
         return self._primary.lookup(self._as_key(key))
 
+    @constant_time
     def __getitem__(self, key) -> Any:
         status, payload = self.lookup(key)
         if status == MISS:
             raise KeyError(self._as_key(key))
         return payload
 
+    @constant_time
     def get(self, key, default: Any = None) -> Any:
         """dict.get semantics over the stored function."""
         status, payload = self.lookup(key)
         return payload if status == HIT else default
 
+    @constant_time
     def __contains__(self, key) -> bool:
         return self.lookup(key)[0] == HIT
 
+    @constant_time
     def successor(self, key, strict: bool = False) -> Key | None:
         """Smallest stored key ``>= key`` (or ``> key`` if strict)."""
         return self._primary.successor(self._as_key(key), strict=strict)
 
+    @constant_time(note="successor on the complemented dual (Section 7.2.2)")
     def predecessor(self, key, strict: bool = True) -> Key | None:
         """Largest stored key ``< key`` (or ``<= key`` if not strict).
 
@@ -121,10 +132,12 @@ class StoredFunction:
             return None
         return self._complement(mirrored)
 
+    @constant_time
     def min_key(self) -> Key | None:
         """The smallest stored key (None when empty)."""
         return self._primary.min_key()
 
+    @constant_time
     def max_key(self) -> Key | None:
         """The largest stored key, via the dual structure."""
         mirrored = self._dual.min_key()
@@ -133,13 +146,16 @@ class StoredFunction:
     # ------------------------------------------------------------------
     # iteration / accounting
     # ------------------------------------------------------------------
+    @constant_time
     def __len__(self) -> int:
         return len(self._primary)
 
+    @delay("O(1)")
     def items(self) -> Iterator[tuple[Key, Any]]:
         """(key, value) pairs in ascending key order, constant delay."""
         return self._primary.items()
 
+    @delay("O(1)")
     def keys(self) -> Iterator[Key]:
         """Stored keys in ascending order."""
         return self._primary.keys()

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.contracts import constant_time
+
 #: delta tag: the cell points to a child node's first register.
 CHILD = 1
 #: delta tag: the cell is a "gap" holding the next-larger domain tuple.
@@ -61,10 +63,12 @@ class RegisterFile:
         self._payload[0] -= count
 
     # -- cell access -------------------------------------------------------
+    @constant_time(note="one RAM cell access — the primitive operation")
     def read(self, index: int) -> tuple[int, Any]:
         """The (delta, payload) pair at ``index``."""
         return self._delta[index], self._payload[index]
 
+    @constant_time(note="one RAM cell access — the primitive operation")
     def write(self, index: int, delta: int, payload: Any) -> None:
         """Overwrite the register at ``index``."""
         self._delta[index] = delta

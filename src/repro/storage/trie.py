@@ -30,6 +30,7 @@ import math
 from collections.abc import Iterator
 from typing import Any
 
+from repro.contracts import constant_time, delay
 from repro.storage.registers import CHILD, GAP, PARENT, RegisterFile
 
 #: Lookup outcome tags.
@@ -75,6 +76,7 @@ class TrieStore:
     # ------------------------------------------------------------------
     # encoding (Algorithm 1, "Decomposition")
     # ------------------------------------------------------------------
+    @constant_time(note="k*h digit extractions; k, h fixed")
     def _encode(self, key: tuple[int, ...]) -> list[int]:
         """Base-``d`` digits of ``key``, most significant first per coordinate."""
         if len(key) != self.k:
@@ -90,6 +92,7 @@ class TrieStore:
                 digits[base - j] = digit
         return digits
 
+    @constant_time(note="k*h digit folds; k, h fixed")
     def _decode(self, digits: list[int]) -> tuple[int, ...]:
         key = []
         for i in range(self.k):
@@ -100,6 +103,7 @@ class TrieStore:
         return tuple(key)
 
     @staticmethod
+    @constant_time(note="one pass over k*h digits")
     def _increment(digits: list[int], d: int) -> list[int] | None:
         """The digit string following ``digits`` in base ``d``; None on overflow."""
         out = list(digits)
@@ -123,6 +127,7 @@ class TrieStore:
     # ------------------------------------------------------------------
     # lookup (Algorithm 2, "Access")
     # ------------------------------------------------------------------
+    @constant_time(note="Theorem 3.1 lookup-or-successor")
     def lookup(self, key: tuple[int, ...]) -> tuple[str, Any]:
         """Constant-time lookup-or-successor.
 
@@ -132,6 +137,7 @@ class TrieStore:
         """
         return self._lookup_digits(self._encode(key))
 
+    @constant_time(note="one root-to-leaf walk of depth k*h")
     def _lookup_digits(self, digits: list[int]) -> tuple[str, Any]:
         base = self._root
         last = self.depth - 1
@@ -144,14 +150,17 @@ class TrieStore:
             base = payload
         raise AssertionError("unreachable: trie walk fell through")  # pragma: no cover
 
+    @constant_time
     def get(self, key: tuple[int, ...], default: Any = None) -> Any:
         """dict.get semantics."""
         status, payload = self.lookup(key)
         return payload if status == HIT else default
 
+    @constant_time
     def __contains__(self, key: tuple[int, ...]) -> bool:
         return self.lookup(key)[0] == HIT
 
+    @constant_time(note="Section 7.2.2: at most two trie walks")
     def successor(self, key: tuple[int, ...], strict: bool = False) -> tuple[int, ...] | None:
         """Smallest stored key ``>= key`` (``> key`` when ``strict``).
 
@@ -174,6 +183,7 @@ class TrieStore:
     # ------------------------------------------------------------------
     # predecessor (in-structure walk; O(d * k * h), used by updates)
     # ------------------------------------------------------------------
+    @delay("O(n^eps)", note="in-structure walk; see predecessor() docstring")
     def _predecessor(self, digits: list[int]) -> tuple[int, ...] | None:
         """Largest stored key strictly below ``digits``.
 
@@ -221,6 +231,7 @@ class TrieStore:
             t += 1
         return self._decode(digits)
 
+    @delay("O(n^eps)", note="documented non-constant walk; dual structure gives O(1)")
     def predecessor(self, key: tuple[int, ...], strict: bool = True) -> tuple[int, ...] | None:
         """Largest stored key ``< key`` (``<= key`` when ``strict=False``).
 
@@ -235,6 +246,7 @@ class TrieStore:
     # ------------------------------------------------------------------
     # insertion (Algorithms 4/5, "Add"/"Insert", plus "Clean")
     # ------------------------------------------------------------------
+    @delay("O(n^eps)", note="Theorem 3.1 update bound O(d*k*h)")
     def insert(self, key: tuple[int, ...], value: Any) -> bool:
         """Set ``f(key) = value``.  Returns True iff ``key`` is new."""
         digits = self._encode(key)
@@ -273,6 +285,7 @@ class TrieStore:
     # ------------------------------------------------------------------
     # removal (Algorithms 10/12, "Remove"/"Cut")
     # ------------------------------------------------------------------
+    @delay("O(n^eps)", note="Theorem 3.1 update bound O(d*k*h)")
     def remove(self, key: tuple[int, ...]) -> Any:
         """Delete ``key``; returns its value.  Raises KeyError if absent."""
         digits = self._encode(key)
@@ -418,10 +431,12 @@ class TrieStore:
     def __len__(self) -> int:
         return self._size
 
+    @constant_time
     def min_key(self) -> tuple[int, ...] | None:
         """The smallest stored key (None when empty)."""
         return self.successor(tuple([0] * self.k))
 
+    @delay("O(1)", note="each yielded item costs one successor walk")
     def items(self) -> Iterator[tuple[tuple[int, ...], Any]]:
         """All (key, value) pairs in lexicographic key order.
 
@@ -434,6 +449,7 @@ class TrieStore:
             yield key, value
             key = self.successor(key, strict=True)
 
+    @delay("O(1)")
     def keys(self) -> Iterator[tuple[int, ...]]:
         """Stored keys in ascending order."""
         for key, _ in self.items():

@@ -1,0 +1,67 @@
+"""Seeded contract violations — the checker's self-test subject.
+
+Never imported by the library; ``tests/contracts/test_checker.py`` runs
+the checker over this file and asserts each rule fires at the marked
+line.  Keep the ``# line:`` markers in sync when editing.
+"""
+
+from __future__ import annotations
+
+from repro.contracts import constant_time, delay, pseudo_linear
+from repro.graphs.colored_graph import ColoredGraph
+
+
+@constant_time(note="violation: loops over the whole vertex set")
+def sized_loop(graph: ColoredGraph) -> int:
+    total = 0
+    for v in graph.vertices():  # CTC001 fires here
+        total += v
+    return total
+
+
+@constant_time(note="violation: materializes the edge set")
+def sized_materializer(graph: ColoredGraph) -> list:
+    return sorted(graph.edges())  # CTC001 fires here (materializer)
+
+
+@constant_time(note="violation: unbounded recursion")
+def recursive_helper(graph: ColoredGraph, v: int) -> int:
+    if v <= 0:
+        return 0
+    return 1 + recursive_helper(graph, v - 1)  # CTC002 fires here
+
+
+def unannotated_callee(graph: ColoredGraph) -> int:
+    return graph.n
+
+
+@constant_time(note="violation: calls into unannotated code")
+def calls_unannotated(graph: ColoredGraph) -> int:
+    return unannotated_callee(graph)  # CTC003 fires here
+
+
+@delay("O(n^eps)", note="violation even at non-constant delay")
+def sized_loop_in_delay(graph: ColoredGraph) -> int:
+    count = 0
+    for _ in graph.vertices():  # CTC001 fires here too
+        count += 1
+    return count
+
+
+@pseudo_linear(note="violation: quadratic, not pseudo-linear")
+def nested_sized_loops(graph: ColoredGraph) -> int:
+    pairs = 0
+    for _ in graph.vertices():
+        for _ in graph.vertices():  # PLC004 fires here
+            pairs += 1
+    return pairs
+
+
+@constant_time(note="waived: loop is over a constant-size sample")
+def waived_loop(graph: ColoredGraph) -> int:
+    total = 0
+    # contract: samples a fixed pilot subset, not the whole graph
+    for v in graph.vertices():  # CTC001 fires here, but waived
+        total += v
+        break
+    return total

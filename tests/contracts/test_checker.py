@@ -1,0 +1,119 @@
+"""The static checker against seeded violations and the real tree."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.contracts.checker import (
+    RULE_CALLEE,
+    RULE_NESTED_SIZED,
+    RULE_RECURSION,
+    RULE_SIZED_LOOP,
+    check_paths,
+)
+
+FIXTURE = Path(__file__).parent / "fixture_violations.py"
+SRC = Path(__file__).parent.parent.parent / "src" / "repro"
+
+
+def fixture_line(marker: str) -> int:
+    """1-based line number of the (unique) marker comment in the fixture."""
+    lines = FIXTURE.read_text().splitlines()
+    matches = [i + 1 for i, line in enumerate(lines) if line.rstrip().endswith(marker)]
+    assert len(matches) == 1, f"marker {marker!r} found {len(matches)} times"
+    return matches[0]
+
+
+class TestFixtureViolations:
+    def setup_method(self):
+        self.report = check_paths([FIXTURE])
+        self.errors = self.report.errors
+
+    def find(self, rule, line):
+        hits = [
+            f for f in self.report.findings if f.rule == rule and f.line == line
+        ]
+        assert hits, (
+            f"no {rule} finding at line {line}; got "
+            f"{[(f.rule, f.line) for f in self.report.findings]}"
+        )
+        return hits[0]
+
+    def test_exit_code_nonzero(self):
+        assert self.report.exit_code == 1
+        assert len(self.errors) == 6
+
+    def test_sized_loop_fires(self):
+        line = fixture_line("# CTC001 fires here")
+        finding = self.find(RULE_SIZED_LOOP, line)
+        assert not finding.waived
+        assert finding.function.endswith("sized_loop")
+        assert "graph.vertices()" in finding.message
+
+    def test_materializer_fires(self):
+        hits = [f for f in self.errors if f.rule == RULE_SIZED_LOOP]
+        assert any("sorted()" in f.message for f in hits)
+
+    def test_sized_loop_fires_in_nonconstant_delay_too(self):
+        line = fixture_line("# CTC001 fires here too")
+        finding = self.find(RULE_SIZED_LOOP, line)
+        assert "O(n^eps)" in finding.message
+
+    def test_recursion_fires(self):
+        line = fixture_line("# CTC002 fires here")
+        finding = self.find(RULE_RECURSION, line)
+        assert not finding.waived
+        assert finding.function.endswith("recursive_helper")
+
+    def test_unannotated_callee_fires(self):
+        line = fixture_line("# CTC003 fires here")
+        finding = self.find(RULE_CALLEE, line)
+        assert "unannotated_callee" in finding.message
+        assert "[unannotated]" in finding.message
+
+    def test_nested_sized_loops_fire(self):
+        line = fixture_line("# PLC004 fires here")
+        finding = self.find(RULE_NESTED_SIZED, line)
+        assert finding.function.endswith("nested_sized_loops")
+
+    def test_waiver_demotes_to_note(self):
+        line = fixture_line("# CTC001 fires here, but waived")
+        finding = self.find(RULE_SIZED_LOOP, line)
+        assert finding.waived
+        assert finding.severity == "note"
+        assert "pilot subset" in finding.waiver
+        assert finding not in self.errors
+
+
+class TestRealTree:
+    def test_library_is_clean(self):
+        report = check_paths([SRC])
+        assert report.errors == [], report.render_text()
+        assert report.exit_code == 0
+
+    def test_library_waivers_are_visible(self):
+        report = check_paths([SRC])
+        waived = [f for f in report.findings if f.waived]
+        assert waived, "expected the documented waivers to surface as notes"
+        assert all(f.severity == "note" and f.waiver for f in waived)
+
+    def test_checks_a_meaningful_share_of_the_tree(self):
+        report = check_paths([SRC])
+        payload = json.loads(report.to_json())
+        assert payload["functions_checked"] >= 50
+        assert payload["files_checked"] >= 30
+
+
+class TestJsonReport:
+    def test_shape(self):
+        payload = json.loads(check_paths([FIXTURE]).to_json())
+        assert payload["version"] == 1
+        assert payload["errors"] == 6
+        assert payload["waived"] == 1
+        finding = payload["findings"][0]
+        for key in ("file", "line", "col", "rule", "title", "function",
+                    "message", "severity", "waived"):
+            assert key in finding
+        severities = {f["severity"] for f in payload["findings"]}
+        assert severities == {"error", "note"}

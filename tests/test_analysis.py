@@ -34,6 +34,17 @@ def test_fit_needs_two_distinct_points():
         fit_exponent([1, 2], [1])
 
 
+def test_fit_distinct_floats_with_equal_logs():
+    # adjacent huge floats are distinct but share a log value; the fit is
+    # degenerate and must fail loudly instead of dividing by zero
+    import math
+
+    xs = [1e300, math.nextafter(1e300, math.inf)]
+    assert xs[0] != xs[1]
+    with pytest.raises(ValueError, match="distinct positive x values"):
+        fit_exponent(xs, [1.0, 2.0])
+
+
 def test_flatness():
     assert flatness([3, 3, 3]) == 1.0
     assert flatness([2, 4]) == 2.0
