@@ -1,10 +1,13 @@
-"""Generate EXPERIMENTS.md from bench_results.json.
+"""Generate EXPERIMENTS.md from bench-suite results.
 
-Usage: python scripts/make_experiments.py [bench_results.json] > EXPERIMENTS.md
+Usage: python scripts/make_experiments.py [BENCH_results.json ...] > EXPERIMENTS.md
 
 Combines the hand-written claims (what the paper predicts, what
 "reproduced" means) with the measured series (tables + fitted scaling
-exponents via repro.analysis).
+exponents via repro.analysis).  Input is the JSON written by
+``python -m repro bench-suite`` (pytest-benchmark JSON from older runs
+renders identically); unreadable input produces a one-line error and
+exit code 2, never a traceback.
 """
 
 from __future__ import annotations
@@ -17,7 +20,12 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.analysis import fit_exponent, flatness  # noqa: E402
-from repro.reporting import group_by_experiment, load_results, render_group  # noqa: E402
+from repro.reporting import (  # noqa: E402
+    ReportError,
+    group_by_experiment,
+    load_results,
+    render_group,
+)
 
 PREAMBLE = """\
 # EXPERIMENTS — paper claims vs measurements
@@ -32,9 +40,13 @@ what must match the paper is the **shape**: what is constant, what is
 Regenerate everything with:
 
 ```bash
-pytest benchmarks/ --benchmark-only --benchmark-json=bench_results.json
-python scripts/make_experiments.py bench_results.json > EXPERIMENTS.md
+python -m repro bench-suite -o BENCH_results.json
+python scripts/make_experiments.py BENCH_results.json > EXPERIMENTS.md
 ```
+
+(`--quick` shrinks the sweeps for a smoke run; `pytest benchmarks/
+--benchmark-only --benchmark-json=...` still works and renders
+identically, but needs pytest-benchmark installed.)
 
 Machine for the recorded numbers: single core of the CI container,
 CPython 3.11.  E2 (Figure 1) is checked bit-for-bit in
@@ -192,11 +204,16 @@ def _verdict_values(stem, benchmarks):
     }
 
 
-def main(*paths: str) -> None:
+def main(*paths: str) -> int:
     # later files override earlier ones per benchmark (clean reruns win)
     by_name: dict[str, dict] = {}
     for path in paths:
-        for bench in load_results(path):
+        try:
+            results = load_results(path)
+        except ReportError as exc:
+            print(f"make_experiments: {exc}", file=sys.stderr)
+            return 2
+        for bench in results:
             by_name[bench.get("fullname", bench["name"])] = bench
     benchmarks = list(by_name.values())
     groups = group_by_experiment(benchmarks)
@@ -223,7 +240,8 @@ def main(*paths: str) -> None:
         out.append(f"> {claim}\n>\n> **Measured:** {verdict}")
         out.append(table)
     print("\n".join(out))
+    return 0
 
 
 if __name__ == "__main__":
-    main(*(sys.argv[1:] or ["bench_results.json"]))
+    sys.exit(main(*(sys.argv[1:] or ["BENCH_results.json"])))

@@ -46,10 +46,18 @@ class NaiveIndex:
         index = bisect_left(self.solutions, tuple(start))
         return self.solutions[index] if index < len(self.solutions) else None
 
-    @delay("O(1)", note="already materialized; iteration is free")
-    def enumerate(self) -> Iterator[tuple[int, ...]]:
-        """The materialized solutions, already sorted."""
-        return iter(self.solutions)
+    @delay("O(1)", note="already materialized; resume is one binary search")
+    def enumerate(self, start: tuple[int, ...] | None = None) -> Iterator[tuple[int, ...]]:
+        """The materialized solutions ``>= start``, already sorted.
+
+        Resuming mid-stream bisects to the first qualifying solution —
+        O(log |result set|) — instead of filtering the whole list, so
+        pagination stays cheap even on huge materialized results.
+        """
+        if start is None:
+            return iter(self.solutions)
+        index = bisect_left(self.solutions, tuple(start))
+        return (self.solutions[i] for i in range(index, len(self.solutions)))
 
     @property
     def exact_delay(self) -> bool:

@@ -19,6 +19,11 @@ Commands
 ``bench FILE QUERY``
     One-line timing summary: preprocessing, per-test, per-next.
 
+``bench-suite [--quick] [-o FILE] [--experiments IDS] [--report FILE]``
+    Run the paper's E1-E14 experiment sweeps (no pytest-benchmark
+    needed), write schema-validated results JSON, and check the O(1)
+    regression gate.  See :mod:`repro.benchrunner`.
+
 ``lint [PATHS...] [--format text|json]``
     Statically check the complexity contracts (``@constant_time`` /
     ``@delay`` / ``@pseudo_linear`` annotations) over the given paths;
@@ -127,10 +132,18 @@ def _cmd_bench(args) -> int:
     tick = time.perf_counter()
     index = build_index(graph, args.query)
     build = time.perf_counter() - tick
-    probes = [
-        tuple((7 * i + j) % graph.n for j in range(index.arity))
-        for i in range(200)
-    ]
+    if graph.n == 0:
+        # nothing to probe on an empty graph (and the modulus below
+        # would divide by zero); arity-0 queries have exactly one probe
+        probes = [()] * 200 if index.arity == 0 else []
+    else:
+        probes = [
+            tuple((7 * i + j) % graph.n for j in range(index.arity))
+            for i in range(200)
+        ]
+    if not probes:
+        print(f"n={graph.n} method={index.method} build={build:.2f}s test=n/a next=n/a")
+        return 0
     tick = time.perf_counter()
     for probe in probes:
         index.test(probe)
@@ -144,6 +157,12 @@ def _cmd_bench(args) -> int:
         f"test={per_test * 1e6:.0f}us next={per_next * 1e6:.0f}us"
     )
     return 0
+
+
+def _cmd_bench_suite(args) -> int:
+    from repro.benchrunner import run_cli as bench_suite_cli
+
+    return bench_suite_cli(args)
 
 
 def _cmd_lint(args) -> int:
@@ -196,6 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("graph")
     bench.add_argument("query")
     bench.set_defaults(func=_cmd_bench)
+
+    from repro.benchrunner import add_arguments as _bench_suite_arguments
+
+    bench_suite = commands.add_parser(
+        "bench-suite",
+        help="run the E1-E14 experiment sweeps and the O(1) regression gate",
+    )
+    _bench_suite_arguments(bench_suite)
+    bench_suite.set_defaults(func=_cmd_bench_suite)
 
     lint = commands.add_parser("lint", help="check the complexity contracts")
     lint.add_argument("paths", nargs="*", metavar="PATH",

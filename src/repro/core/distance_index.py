@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from repro.contracts import constant_time, pseudo_linear
 from repro.covers.neighborhood_cover import build_cover
+from repro.metrics.runtime import count as _metrics_count
 from repro.graphs.colored_graph import ColoredGraph
 from repro.graphs.neighborhoods import bounded_bfs
 from repro.splitter.strategies import SplitterStrategy, default_strategy
@@ -143,6 +144,7 @@ class DistanceIndex:
     @constant_time(note="Proposition 4.2 answering phase")
     def test(self, a: int, b: int) -> bool:
         """Is ``dist(a, b) <= radius``?  Constant time."""
+        _metrics_count("distance.test")
         if a == b:
             return True
         if self._mode == "naive":
@@ -174,6 +176,7 @@ class DistanceIndex:
         the ``R_i`` recolorings (Step 4) store distances, not just the
         radius-``r`` threshold.
         """
+        _metrics_count("distance.distance")
         if a == b:
             return 0
         if self._mode == "naive":

@@ -24,6 +24,8 @@ from repro.graphs.colored_graph import ColoredGraph
 from repro.logic.parser import parse_formula
 from repro.logic.syntax import Formula, Var
 from repro.logic.transform import free_variables
+from repro.metrics.runtime import count as _metrics_count
+from repro.metrics.runtime import observe as _metrics_observe
 
 
 @dataclass
@@ -59,11 +61,13 @@ class QueryIndex:
     @constant_time(note="Corollary 2.4 via the chosen implementation")
     def test(self, values: Sequence[int]) -> bool:
         """Corollary 2.4: constant-time membership testing."""
+        _metrics_count("engine.test")
         return self._impl.test(tuple(values))
 
     @constant_time(note="Theorem 2.3 via the chosen implementation")
     def next_solution(self, start: Sequence[int]) -> tuple[int, ...] | None:
         """Theorem 2.3: smallest solution ``>= start`` (lexicographic)."""
+        _metrics_count("engine.next_solution")
         return self._impl.next_solution(tuple(start))
 
     @delay("O(1)", note="Corollary 2.5; naive fallback materializes upfront")
@@ -73,20 +77,24 @@ class QueryIndex:
         """Corollary 2.5: solutions ``>= start``, increasing, constant delay.
 
         Omitting ``start`` yields the whole result set; passing a tuple
-        resumes mid-stream for free (pagination).
+        resumes mid-stream for free (pagination) — on the naive fallback
+        the resume point is found by one binary search, never by
+        filtering the materialized list.
         """
         if isinstance(self._impl, NaiveIndex):
-            iterator = self._impl.enumerate()
-            if start is None:
-                return iterator
-            threshold = tuple(start)
-            return (t for t in iterator if t >= threshold)
+            return self._impl.enumerate(None if start is None else tuple(start))
         return enumerate_solutions(
             self._impl, None if start is None else tuple(start)
         )
 
     def count(self) -> int:
-        """|phi(G)| by full enumeration (the paper cites [18] for faster)."""
+        """|phi(G)| by full enumeration (the paper cites [18] for faster).
+
+        The naive fallback already materialized the result set, so its
+        count is a stored length, not a re-enumeration.
+        """
+        if isinstance(self._impl, NaiveIndex):
+            return len(self._impl)
         return sum(1 for _ in self.enumerate())
 
     def stats(self) -> dict:
@@ -180,6 +188,7 @@ def build_index(
             impl = NaiveIndex(graph, phi, order)
             chosen = "naive"
     elapsed = time.perf_counter() - start
+    _metrics_observe("engine.preprocessing_seconds", elapsed)
     return QueryIndex(graph, phi, order, chosen, elapsed, impl)
 
 

@@ -12,6 +12,7 @@ from collections.abc import Iterator
 
 from repro.contracts import delay
 from repro.core.next_solution import NextSolutionIndex, increment_tuple
+from repro.metrics.runtime import delay_recorder as _delay_recorder
 
 
 @delay("O(1)", note="Corollary 2.5: one next_solution call per answer")
@@ -25,6 +26,11 @@ def enumerate_solutions(
     an enumeration from the middle costs nothing — Theorem 2.3's oracle
     makes every suffix of the stream equally cheap, which is what makes
     pagination over huge result sets practical.
+
+    Inside ``repro.metrics.collect()`` the per-answer delays land in the
+    ``enumeration.delay_seconds`` histogram (experiment E9's subject);
+    the delay then includes whatever the consumer does between answers,
+    so measurement loops should consume tightly.
     """
     if index.k == 0:
         if index.test(()):
@@ -34,8 +40,14 @@ def enumerate_solutions(
         return
     if start is None:
         start = tuple([0] * index.k)
+    record = _delay_recorder("enumeration.delay_seconds")
+    tick = time.perf_counter() if record is not None else 0.0
     current = index.next_solution(tuple(start))
     while current is not None:
+        if record is not None:
+            now = time.perf_counter()
+            record(now - tick)
+            tick = now
         yield current
         bumped = increment_tuple(current, index.graph.n)
         if bumped is None:

@@ -1,0 +1,52 @@
+"""Observability for the paper's complexity claims (``repro.metrics``).
+
+The contracts layer (PR 1) states the bounds *statically*; this package
+measures them *empirically*.  Three primitives —
+
+* :class:`~repro.metrics.core.Counter` — operation counts,
+* :class:`~repro.metrics.core.Timer` — accumulating monotonic timers,
+* :class:`~repro.metrics.core.Histogram` — delay distributions with
+  p50/p95/max summaries —
+
+live in a :class:`~repro.metrics.core.MetricsRegistry` activated by
+:func:`~repro.metrics.runtime.collect`::
+
+    from repro import metrics
+
+    with metrics.collect() as registry:
+        index = build_index(graph, "dist(x, y) > 2 & Blue(y)")
+        list(index.enumerate())
+
+    registry.histograms["enumeration.delay_seconds"].p95
+    registry.op_counts["repro.storage.registers.RegisterFile.read"]
+
+The hot paths are threaded with zero-cost hooks (a single ``None`` check
+when no registry is active), and ``ops=True`` additionally counts every
+contracted-function call via the PR-1 ``instrument()`` patch — so
+"constant time" is checked in primitive operations, not just wall-clock.
+The ``repro bench-suite`` runner (:mod:`repro.benchrunner`) builds the
+E1–E14 measurement series on top of this package.
+"""
+
+from repro.metrics.core import Counter, Histogram, MetricsRegistry, Timer
+from repro.metrics.runtime import (
+    active,
+    collect,
+    count,
+    delay_recorder,
+    observe,
+    time_block,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "Timer",
+    "active",
+    "collect",
+    "count",
+    "delay_recorder",
+    "observe",
+    "time_block",
+]

@@ -1,0 +1,199 @@
+"""Metric primitives: counters, monotonic timers, delay histograms.
+
+These are the value types behind :mod:`repro.metrics`.  They are plain
+mutable objects with O(1) update operations — a :class:`Counter` is one
+integer add, a :class:`Timer` lap is two ``perf_counter`` reads, a
+:class:`Histogram` record is one list append — so they can sit on the
+paper's constant-time hot paths without changing any asymptotics.
+
+Percentile queries (:meth:`Histogram.percentile`) sort lazily and cache
+the sorted order; they are meant for *after* a measurement run, not
+inside one.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any
+
+
+class Counter:
+    """A named monotonically-increasing operation counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (one integer add — O(1))."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Timer:
+    """A named accumulating monotonic timer (``time.perf_counter`` based).
+
+    Usable as a context manager; each enter/exit pair adds one *lap*.
+    ``total`` is the accumulated wall-clock time across laps.
+    """
+
+    __slots__ = ("name", "total", "laps", "_started")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0.0
+        self.laps = 0
+        self._started: float | None = None
+
+    def start(self) -> None:
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the current lap; returns the lap's duration in seconds."""
+        if self._started is None:
+            raise RuntimeError(f"timer {self.name!r} stopped without start()")
+        lap = time.perf_counter() - self._started
+        self._started = None
+        self.total += lap
+        self.laps += 1
+        return lap
+
+    def __enter__(self) -> Timer:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per lap (0.0 before the first lap)."""
+        return self.total / self.laps if self.laps else 0.0
+
+    def __repr__(self) -> str:
+        return f"Timer({self.name!r}, total={self.total:.6f}s, laps={self.laps})"
+
+
+class Histogram:
+    """A named sample distribution with p50/p95/max summaries.
+
+    Records raw samples (typically per-answer delays in seconds) and
+    answers percentile queries afterwards.  Recording is an O(1) append;
+    percentile queries sort on demand and cache until the next record.
+    """
+
+    __slots__ = ("name", "_samples", "_sorted")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._sorted: list[float] | None = None
+
+    def record(self, value: float) -> None:
+        """Add one sample (O(1) amortized)."""
+        self._samples.append(value)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._samples) if self._samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 <= q <= 100), nearest-rank on sorted data."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = math.ceil(q / 100 * len(self._sorted)) - 1
+        return self._sorted[max(0, rank)]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    def summary(self) -> dict[str, float]:
+        """The reporting payload: count, mean, p50, p95, max."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class MetricsRegistry:
+    """One measurement run's worth of counters, timers and histograms.
+
+    Instances are handed out by :func:`repro.metrics.collect`; named
+    children are created on first use so hot paths never need to
+    pre-register anything.  ``op_counts`` is filled by the contracts
+    instrumentation hook (calls per contracted function) when the
+    registry was activated with ``ops=True``.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.timers: dict[str, Timer] = {}
+        self.histograms: dict[str, Histogram] = {}
+        #: qualified contracted-function name -> call count (see
+        #: :func:`repro.contracts.decorators.instrument`).
+        self.op_counts: dict[str, int] = {}
+
+    def counter(self, name: str) -> Counter:
+        found = self.counters.get(name)
+        if found is None:
+            found = self.counters[name] = Counter(name)
+        return found
+
+    def timer(self, name: str) -> Timer:
+        found = self.timers.get(name)
+        if found is None:
+            found = self.timers[name] = Timer(name)
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        found = self.histograms.get(name)
+        if found is None:
+            found = self.histograms[name] = Histogram(name)
+        return found
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict view of everything measured (JSON-serializable)."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "timers": {
+                name: {"total": t.total, "laps": t.laps, "mean": t.mean}
+                for name, t in sorted(self.timers.items())
+            },
+            "histograms": {
+                name: h.summary() for name, h in sorted(self.histograms.items())
+            },
+            "op_counts": dict(sorted(self.op_counts.items())),
+        }

@@ -1,13 +1,20 @@
-"""Benchmark reporting: turn pytest-benchmark JSON into experiment tables.
+"""Benchmark reporting: turn benchmark JSON into experiment tables.
 
-``pytest benchmarks/ --benchmark-only --benchmark-json=bench_results.json``
-produces a machine-readable record; :func:`render_report` groups it by
-experiment (one group per ``bench_*`` file), sorts each group by the
-swept parameter, and emits the markdown tables EXPERIMENTS.md embeds.
+``python -m repro bench-suite`` (or, historically, ``pytest benchmarks/
+--benchmark-only --benchmark-json=...``) produces a machine-readable
+record; :func:`render_report` groups it by experiment (one group per
+``bench_*`` file), sorts each group by the swept parameter, and emits
+the markdown tables EXPERIMENTS.md embeds.  Both producers share the
+``benchmarks[*].fullname/name/stats/extra_info`` layout, so one renderer
+serves both.
+
+Malformed input — a missing file, an empty/truncated write, or invalid
+JSON — raises :exc:`ReportError`; the CLI turns that into a one-line
+message on stderr and exit code 2, never a traceback.
 
 Usage::
 
-    python -m repro.reporting bench_results.json > report.md
+    python -m repro.reporting BENCH_results.json > report.md
 """
 
 from __future__ import annotations
@@ -17,6 +24,10 @@ import re
 import sys
 from collections import defaultdict
 from pathlib import Path
+
+
+class ReportError(Exception):
+    """A benchmark results file could not be read or parsed."""
 
 #: bench file stem -> (experiment id, the claim the series checks)
 EXPERIMENTS = {
@@ -54,9 +65,39 @@ def _param_sort_key(name: str):
 
 
 def load_results(path: str | Path) -> list[dict]:
-    """The benchmark entries of a pytest-benchmark JSON file."""
-    data = json.loads(Path(path).read_text())
-    return data.get("benchmarks", [])
+    """The benchmark entries of a results JSON file.
+
+    Raises :exc:`ReportError` (with a one-line, actionable message) when
+    the file is missing, empty, truncated, or not a benchmark document —
+    the usual leftovers of an interrupted benchmark run.
+    """
+    source = Path(path)
+    try:
+        text = source.read_text()
+    except FileNotFoundError:
+        raise ReportError(f"{source}: no such file") from None
+    except OSError as exc:
+        raise ReportError(f"{source}: {exc.strerror or exc}") from None
+    if not text.strip():
+        raise ReportError(
+            f"{source}: file is empty — the benchmark run that wrote it was "
+            "interrupted; re-run `python -m repro bench-suite`"
+        )
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReportError(
+            f"{source}: invalid JSON at line {exc.lineno} column {exc.colno} "
+            f"({exc.msg}) — likely a truncated benchmark run"
+        ) from None
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        raise ReportError(
+            f"{source}: not a benchmark results document (no 'benchmarks' key)"
+        )
+    benchmarks = data["benchmarks"]
+    if not isinstance(benchmarks, list):
+        raise ReportError(f"{source}: 'benchmarks' should be a list")
+    return benchmarks
 
 
 def group_by_experiment(benchmarks: list[dict]) -> dict[str, list[dict]]:
@@ -97,14 +138,18 @@ def render_group(stem: str, benchmarks: list[dict]) -> str:
     return "\n".join(lines)
 
 
-def render_report(path: str | Path) -> str:
-    """The full markdown report for one benchmark JSON file."""
-    benchmarks = load_results(path)
+def _experiment_sort_key(stem: str) -> tuple:
+    experiment = EXPERIMENTS.get(stem, ("Z",))[0]
+    match = re.fullmatch(r"E(\d+)", experiment)
+    if match:
+        return (0, int(match.group(1)))
+    return (1, experiment)
+
+
+def render_benchmarks(benchmarks: list[dict]) -> str:
+    """The full markdown report for a list of benchmark entries."""
     groups = group_by_experiment(benchmarks)
-    ordered = sorted(
-        groups.items(),
-        key=lambda kv: EXPERIMENTS.get(kv[0], ("Z",))[0],
-    )
+    ordered = sorted(groups.items(), key=lambda kv: _experiment_sort_key(kv[0]))
     sections = [render_group(stem, group) for stem, group in ordered]
     header = (
         "# Benchmark report\n\n"
@@ -113,13 +158,26 @@ def render_report(path: str | Path) -> str:
     return header + "\n" + "\n".join(sections)
 
 
+def render_report(path: str | Path) -> str:
+    """The full markdown report for one benchmark JSON file."""
+    return render_benchmarks(load_results(path))
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI: render the report for one JSON file to stdout."""
     argv = sys.argv[1:] if argv is None else argv
     if len(argv) != 1:
-        print("usage: python -m repro.reporting bench_results.json", file=sys.stderr)
+        print("usage: python -m repro.reporting BENCH_results.json", file=sys.stderr)
         return 2
-    print(render_report(argv[0]))
+    try:
+        report = render_report(argv[0])
+    except ReportError as exc:
+        print(f"repro.reporting: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(report)
+    except BrokenPipeError:  # e.g. `... | head` closed the pipe early
+        sys.stderr.close()
     return 0
 
 

@@ -31,6 +31,7 @@ from collections.abc import Iterator
 from typing import Any
 
 from repro.contracts import constant_time, delay
+from repro.metrics.runtime import count as _metrics_count
 from repro.storage.registers import CHILD, GAP, PARENT, RegisterFile
 
 #: Lookup outcome tags.
@@ -135,6 +136,7 @@ class TrieStore:
         ``(MISS, succ)`` where ``succ`` is the smallest stored key
         ``> key`` (or ``None`` if none exists).
         """
+        _metrics_count("trie.lookup")
         return self._lookup_digits(self._encode(key))
 
     @constant_time(note="one root-to-leaf walk of depth k*h")
@@ -166,6 +168,7 @@ class TrieStore:
 
         Constant time: one or two trie walks (Section 7.2.2).
         """
+        _metrics_count("trie.successor")
         digits = self._encode(key)
         if not strict:
             status, payload = self._lookup_digits(digits)
@@ -249,6 +252,7 @@ class TrieStore:
     @delay("O(n^eps)", note="Theorem 3.1 update bound O(d*k*h)")
     def insert(self, key: tuple[int, ...], value: Any) -> bool:
         """Set ``f(key) = value``.  Returns True iff ``key`` is new."""
+        _metrics_count("trie.insert")
         digits = self._encode(key)
         status, payload = self._lookup_digits(digits)
         if status == HIT:
@@ -288,6 +292,7 @@ class TrieStore:
     @delay("O(n^eps)", note="Theorem 3.1 update bound O(d*k*h)")
     def remove(self, key: tuple[int, ...]) -> Any:
         """Delete ``key``; returns its value.  Raises KeyError if absent."""
+        _metrics_count("trie.remove")
         digits = self._encode(key)
         status, old_value = self._lookup_digits(digits)
         if status == MISS:

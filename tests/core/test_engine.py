@@ -119,3 +119,31 @@ def test_stats_reports_nested_levels_for_arity3():
     index = build_index(g, "E(x, y) & E(y, z)")
     stats = index.stats()
     assert [level["arity"] for level in stats["levels"]] == [3, 2]
+
+
+def test_naive_enumerate_resumes_with_bisect():
+    """enumerate(start) on the naive fallback returns the exact suffix."""
+    g = random_tree(24, seed=5)
+    index = build_index(g, "E(x, y)", method="naive")
+    everything = list(index.enumerate())
+    assert everything == sorted(set(everything))
+    middle = everything[len(everything) // 2]
+    assert list(index.enumerate(start=middle)) == everything[len(everything) // 2:]
+    # a start between solutions resumes at the next one, not a copy scan
+    assert list(index.enumerate(start=(everything[-1][0], everything[-1][1] + 1))) == []
+    assert list(index.enumerate(start=(0, 0))) == everything
+
+
+def test_naive_and_indexed_enumerate_agree_on_start():
+    g = random_tree(24, seed=5)
+    naive = build_index(g, "E(x, y)", method="naive")
+    indexed = build_index(g, "E(x, y)", method="indexed")
+    start = (5, 0)
+    assert list(naive.enumerate(start=start)) == list(indexed.enumerate(start=start))
+
+
+def test_naive_count_uses_materialized_length():
+    g = random_tree(30, seed=7)
+    index = build_index(g, "E(x, y)", method="naive")
+    assert index.count() == len(index._impl)
+    assert index.count() == len(list(index.enumerate()))

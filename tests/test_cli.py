@@ -92,3 +92,46 @@ def test_info_locality_flag(graph_file, capsys):
     assert main(["info", graph_file, "--locality", "--radius", "2"]) == 0
     out = capsys.readouterr().out
     assert "verdict:" in out
+
+
+def test_bench_on_empty_graph(tmp_path, capsys):
+    """No probes to run on an empty graph — report n/a, never divide by zero."""
+    from repro.graphs.colored_graph import ColoredGraph
+
+    path = tmp_path / "empty.json"
+    write_json(ColoredGraph(0), path)
+    assert main(["bench", str(path), "E(x, y)"]) == 0
+    out = capsys.readouterr().out
+    assert "n=0" in out and "test=n/a" in out
+
+
+def test_bench_arity_zero_query(graph_file, capsys):
+    """A boolean (arity-0) query still benches: the only probe is ()."""
+    assert main(["bench", graph_file, "exists x. exists y. E(x, y)"]) == 0
+    out = capsys.readouterr().out
+    assert "test=" in out and "n/a" not in out
+
+
+def test_bench_suite_command(tmp_path, capsys, monkeypatch):
+    import repro.benchrunner as benchrunner
+    from tests.test_benchrunner import TINY
+
+    monkeypatch.setattr(benchrunner, "QUICK", TINY)
+    results = tmp_path / "results.json"
+    report = tmp_path / "report.md"
+    assert main([
+        "bench-suite", "--quick", "--experiments", "E11",
+        "-o", str(results), "--report", str(report),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "wrote" in out
+    assert results.exists()
+    assert "test_adjacency_graph_build" in report.read_text()
+
+
+def test_bench_suite_rejects_unknown_experiment(tmp_path, capsys):
+    assert main([
+        "bench-suite", "--quick", "--experiments", "E99",
+        "-o", str(tmp_path / "r.json"),
+    ]) == 2
+    assert "unknown experiment" in capsys.readouterr().err

@@ -2,10 +2,14 @@
 
 import json
 
+import pytest
+
 from repro.reporting import (
+    ReportError,
     group_by_experiment,
     load_results,
     main,
+    render_benchmarks,
     render_group,
     render_report,
 )
@@ -72,3 +76,80 @@ def test_main_cli(tmp_path, capsys):
     assert main([str(path)]) == 0
     assert "Benchmark report" in capsys.readouterr().out
     assert main([]) == 2
+
+
+def test_unknown_stem_renders_placeholder():
+    benchmarks = [
+        {
+            "fullname": "benchmarks/bench_mystery.py::test_thing[8]",
+            "name": "test_thing[8]",
+            "stats": {"mean": 1e-3},
+            "extra_info": {},
+        }
+    ]
+    report = render_benchmarks(benchmarks)
+    assert "? — bench_mystery" in report
+
+
+def test_numeric_experiment_order():
+    def entry(stem):
+        return {
+            "fullname": f"benchmarks/{stem}.py::test_x[8]",
+            "name": "test_x[8]",
+            "stats": {"mean": 1e-3},
+            "extra_info": {},
+        }
+
+    report = render_benchmarks([entry("bench_sparsity"), entry("bench_distance")])
+    assert report.index("E3") < report.index("E10")  # numeric, not lexicographic
+
+
+# ----------------------------------------------------------------------
+# hardened error handling: one-line ReportError, exit code 2, no traceback
+
+
+def test_load_results_missing_file(tmp_path):
+    with pytest.raises(ReportError, match="no such file"):
+        load_results(tmp_path / "nope.json")
+
+
+def test_load_results_empty_file(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text("")
+    with pytest.raises(ReportError, match="empty"):
+        load_results(path)
+    path.write_text("   \n")
+    with pytest.raises(ReportError, match="empty"):
+        load_results(path)
+
+
+def test_load_results_truncated_json(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text('{"benchmarks": [{"name": "test_x[8]"')
+    with pytest.raises(ReportError, match="invalid JSON"):
+        load_results(path)
+
+
+def test_load_results_wrong_shape(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(ReportError, match="benchmarks"):
+        load_results(path)
+    path.write_text('{"benchmarks": 7}')
+    with pytest.raises(ReportError, match="list"):
+        load_results(path)
+
+
+@pytest.mark.parametrize("content", ["", "{not json", '{"other": 1}'])
+def test_main_exits_2_without_traceback(tmp_path, capsys, content):
+    path = tmp_path / "bench.json"
+    path.write_text(content)
+    assert main([str(path)]) == 2
+    captured = capsys.readouterr()
+    assert "repro.reporting:" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_main_exits_2_on_missing_file(tmp_path, capsys):
+    assert main([str(tmp_path / "ghost.json")]) == 2
+    assert "no such file" in capsys.readouterr().err
