@@ -32,7 +32,10 @@ class NaiveIndex:
         self.phi = phi
         self.free_order = tuple(free_order)
         self.k = len(self.free_order)
-        self.solutions = list(naive_solutions(graph, phi, list(self.free_order)))
+        # sorted() on ingest: every query path below bisects this list, so
+        # its order must not silently depend on the generator's iteration
+        # order (sorting an already-sorted stream is a cheap linear scan)
+        self.solutions = sorted(naive_solutions(graph, phi, list(self.free_order)))
         self._solution_set = set(self.solutions)
 
     @constant_time(note="hash probe into the materialized set")

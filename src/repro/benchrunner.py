@@ -55,7 +55,7 @@ DEFAULT_OUTPUT = "BENCH_results.json"
 #: The experiments a plain ``repro bench-suite`` run covers, in run order.
 ALL_EXPERIMENTS = (
     "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-    "E10", "E11", "E12", "E13", "E14",
+    "E10", "E11", "E12", "E13", "E14", "E15",
 )
 
 #: Extra series only the full profile runs by default (knob ablations).
@@ -183,9 +183,11 @@ class BenchSuite:
         self,
         profile: Profile,
         log: Callable[[str], None] = lambda line: None,
+        workers: int = 2,
     ) -> None:
         self.profile = profile
         self.log = log
+        self.workers = max(workers, 2)  # E15's parallel arm needs > 1
         self.records: list[dict[str, Any]] = []
         self._graphs: dict[tuple[str, int, int], Any] = {}
         self._indexes: dict[tuple[str, int, str, int], Any] = {}
@@ -689,6 +691,74 @@ class BenchSuite:
                 {"d": store.d, "h": store.h, "registers": store.registers_used},
             )
 
+    # -- E15: persistence (cold vs warm) + parallel preprocessing -------
+
+    def run_e15(self) -> None:
+        """Cold build vs snapshot load, and the ``workers`` fan-out.
+
+        The warm path is the paid-once contract across processes: a valid
+        snapshot must answer without rebuilding, and its load time must
+        beat cold preprocessing by at least
+        :data:`WARM_SPEEDUP_MIN` (gated, like the O(1) rules).
+        """
+        import tempfile
+
+        from repro.core.config import EngineConfig
+        from repro.core.engine import build_index
+        from repro.persist import index_fingerprint, load_index, save_index
+
+        p = self.profile
+        for n in p.small_sizes:
+            g = self.graph("grid", n)
+
+            def cold_build(g: Any = g) -> Any:
+                return build_index(g, _QUERY)
+
+            cold_stats, index = _timed(cold_build, p.repeats)
+            fingerprint = index_fingerprint(g, _QUERY)
+            first_cold = next(index.enumerate(), None)
+            with tempfile.TemporaryDirectory() as tmp:
+                path = Path(tmp) / "snapshot.rpx"
+                header = save_index(index, path, fingerprint)
+
+                def warm_load(path: Path = path, fingerprint: str = fingerprint) -> Any:
+                    return load_index(path, expected_fingerprint=fingerprint)
+
+                warm_stats, loaded = _timed(warm_load, p.repeats, warmup=True)
+            speedup = cold_stats["mean"] / max(warm_stats["mean"], 1e-9)
+            self.record(
+                "E15", "bench_persist", f"test_warm_vs_cold[{n}]", {"n": n},
+                warm_stats,
+                {
+                    "cold_build_ms": round(cold_stats["mean"] * 1e3, 2),
+                    "warm_load_ms": round(warm_stats["mean"] * 1e3, 3),
+                    "warm_speedup_vs_cold": round(speedup, 1),
+                    "snapshot_bytes": header["payload_bytes"],
+                    "answers_match": next(loaded.enumerate(), None) == first_cold,
+                },
+            )
+
+            def parallel_build(g: Any = g) -> Any:
+                return build_index(
+                    g, _QUERY, config=EngineConfig(workers=self.workers)
+                )
+
+            par_stats, par_index = _timed(parallel_build, p.repeats)
+            self.record(
+                "E15", "bench_persist",
+                f"test_parallel_build[{self.workers}-{n}]",
+                {"n": n, "workers": self.workers},
+                par_stats,
+                {
+                    "parallel_speedup_vs_sequential": round(
+                        cold_stats["mean"] / max(par_stats["mean"], 1e-9), 2
+                    ),
+                    "matches_sequential": (
+                        next(par_index.enumerate(), None) == first_cold
+                    ),
+                },
+            )
+
     # -- dispatch -------------------------------------------------------
 
     RUNNERS: dict[str, str] = {
@@ -705,6 +775,7 @@ class BenchSuite:
         "E12": "run_e12",
         "E13": "run_e13",
         "E14": "run_e14",
+        "E15": "run_e15",
         "EA": "run_ea",
     }
 
@@ -762,6 +833,9 @@ GATE_RULES = (
              "Corollary 2.4: O(1) membership tests"),
     GateRule("E9", "bench_delay", "test_delay_profile[", "extra:delay_p95_us",
              "Corollary 2.5: flat p95 enumeration delay"),
+    GateRule("E15", "bench_persist", "test_warm_vs_cold[",
+             "extra:warm_speedup_vs_cold",
+             "Persistence: snapshot load >= 5x faster than cold preprocessing"),
 )
 
 #: Timing series fail only when exponent AND spread both look non-constant.
@@ -769,6 +843,8 @@ DEFAULT_GATE_EXPONENT = 0.45
 DEFAULT_GATE_FLATNESS = 3.0
 #: Operation counts are deterministic — hold them to a tight spread.
 OPS_GATE_FLATNESS = 2.0
+#: The warm path must beat cold preprocessing by at least this factor.
+WARM_SPEEDUP_MIN = 5.0
 
 
 def check_gate(
@@ -810,6 +886,9 @@ def check_gate(
         spread = flatness(ys)
         if rule.metric.startswith("extra:register"):
             passed = spread <= OPS_GATE_FLATNESS
+        elif rule.metric == "extra:warm_speedup_vs_cold":
+            # a floor, not a flatness check: every point must clear 5x
+            passed = min(ys) >= WARM_SPEEDUP_MIN
         else:
             passed = exponent <= exponent_threshold or spread <= flatness_slack
         verdicts.append(
@@ -844,6 +923,7 @@ def run_suite(
     profile: Profile,
     experiments: Iterable[str] | None = None,
     log: Callable[[str], None] = lambda line: None,
+    workers: int = 2,
 ) -> dict[str, Any]:
     """Run the suite and return the (already validated) result document."""
     if experiments is None:
@@ -858,7 +938,7 @@ def run_suite(
             f"unknown experiment id(s) {unknown}; "
             f"known: {sorted(BenchSuite.RUNNERS)}"
         )
-    suite = BenchSuite(profile, log=log)
+    suite = BenchSuite(profile, log=log, workers=workers)
     started = time.perf_counter()
     suite.run(chosen)
     payload = {
@@ -916,6 +996,10 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "--report", default=None, metavar="FILE",
         help="also render the markdown report to FILE (e.g. EXPERIMENTS.md)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="thread count for E15's parallel-preprocessing arm (default: 2)",
+    )
 
 
 def run_cli(args: argparse.Namespace) -> int:
@@ -924,7 +1008,11 @@ def run_cli(args: argparse.Namespace) -> int:
     if args.experiments:
         experiments = [e.strip() for e in args.experiments.split(",") if e.strip()]
     try:
-        payload = run_suite(profile, experiments, log=lambda line: print(line))
+        payload = run_suite(
+            profile, experiments,
+            log=lambda line: print(line),
+            workers=args.workers,
+        )
     except ValueError as exc:
         print(f"bench-suite: {exc}", file=sys.stderr)
         return 2

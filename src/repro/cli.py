@@ -13,8 +13,17 @@ Commands
 ``explain QUERY``
     Diagnose whether a query is in the indexable fragment and why.
 
-``query FILE QUERY [--enumerate N] [--count] [--test a,b] [--next a,b]``
-    Build the Theorem 2.3 index over the graph in FILE and answer.
+``query FILE QUERY [--enumerate N] [--count] [--test a,b] [--next a,b]
+[--cache DIR] [--workers N]``
+    Build the Theorem 2.3 index over the graph in FILE and answer.  With
+    ``--cache`` the index is served from (and saved to) a snapshot
+    directory, so the pseudo-linear preprocessing is paid once across
+    process invocations; see :mod:`repro.persist`.
+
+``warm GRAPH QUERY -o FILE [--workers N]``
+    Run the preprocessing now and snapshot the built index to FILE, so a
+    later ``query --cache`` (or :func:`repro.persist.load_index`) starts
+    warm.
 
 ``bench FILE QUERY``
     One-line timing summary: preprocessing, per-test, per-next.
@@ -98,25 +107,56 @@ def _cmd_explain(args) -> int:
     return 0 if report.decomposable else 1
 
 
+def _engine_config(args):
+    from repro.core.config import DEFAULT_CONFIG, EngineConfig
+
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {workers}")
+    if workers == 1:
+        return DEFAULT_CONFIG
+    return EngineConfig(workers=workers)
+
+
 def _cmd_query(args) -> int:
     graph = _load_graph(args.graph)
-    index = build_index(graph, args.query, method=args.method)
-    print(
-        f"index built: method={index.method}, arity={index.arity}, "
-        f"preprocessing={index.preprocessing_seconds * 1000:.1f} ms"
-    )
+    config = _engine_config(args)
+    if args.cache:
+        from repro.persist import load_or_build
+
+        tick = time.perf_counter()
+        index, status = load_or_build(
+            graph, args.query, method=args.method,
+            config=config, cache_dir=args.cache,
+        )
+        ready_ms = (time.perf_counter() - tick) * 1000
+        print(
+            f"index {status} ({args.cache}): method={index.method}, "
+            f"arity={index.arity}, ready in {ready_ms:.1f} ms"
+        )
+    else:
+        index = build_index(graph, args.query, method=args.method, config=config)
+        print(
+            f"index built: method={index.method}, arity={index.arity}, "
+            f"preprocessing={index.preprocessing_seconds * 1000:.1f} ms"
+        )
     if args.stats:
         import json as _json
 
         print(_json.dumps(index.stats(), indent=1, sort_keys=True))
     if args.count:
         print(f"count: {index.count()}")
-    if args.test is not None:
-        values = _parse_tuple(args.test)
-        print(f"test{values}: {index.test(values)}")
-    if args.next is not None:
-        values = _parse_tuple(args.next)
-        print(f"next{values}: {index.next_solution(values)}")
+    try:
+        if args.test is not None:
+            values = _parse_tuple(args.test)
+            print(f"test{values}: {index.test(values)}")
+        if args.next is not None:
+            values = _parse_tuple(args.next)
+            print(f"next{values}: {index.next_solution(values)}")
+    except ValueError as exc:
+        # e.g. a wrong-arity tuple for this query; one line, no traceback
+        print(f"repro query: {exc}", file=sys.stderr)
+        return 2
     if args.enumerate:
         shown = 0
         for solution in index.enumerate():
@@ -124,6 +164,25 @@ def _cmd_query(args) -> int:
             shown += 1
             if shown >= args.enumerate:
                 break
+    return 0
+
+
+def _cmd_warm(args) -> int:
+    from repro.persist import warm
+
+    graph = _load_graph(args.graph)
+    config = _engine_config(args)
+    tick = time.perf_counter()
+    index, header = warm(
+        graph, args.query, args.output, method=args.method, config=config
+    )
+    elapsed = time.perf_counter() - tick
+    print(
+        f"warmed {args.output}: method={index.method}, arity={index.arity}, "
+        f"{header['payload_bytes']} bytes, "
+        f"fingerprint {header['fingerprint'][:12]}..., "
+        f"built+saved in {elapsed:.2f}s"
+    )
     return 0
 
 
@@ -209,7 +268,23 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--test", metavar="a,b")
     query.add_argument("--next", metavar="a,b")
     query.add_argument("--enumerate", type=int, default=0, metavar="N")
+    query.add_argument("--cache", metavar="DIR", default=None,
+                       help="serve from (and save to) a snapshot cache directory")
+    query.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="threads for the per-bag preprocessing fan-out")
     query.set_defaults(func=_cmd_query)
+
+    warm_cmd = commands.add_parser(
+        "warm", help="run preprocessing now and snapshot the index to a file"
+    )
+    warm_cmd.add_argument("graph")
+    warm_cmd.add_argument("query")
+    warm_cmd.add_argument("-o", "--output", required=True)
+    warm_cmd.add_argument("--method", default="auto",
+                          choices=["auto", "indexed", "naive"])
+    warm_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="threads for the per-bag preprocessing fan-out")
+    warm_cmd.set_defaults(func=_cmd_warm)
 
     bench = commands.add_parser("bench", help="one-line timing summary")
     bench.add_argument("graph")

@@ -63,6 +63,12 @@ class NeighborhoodCover:
         # per-bag list of b with X(b) = X (Step 3 of Section 5.2.1)
         self.assigned: list[list[int]] = [[] for _ in bags]
         for vertex, bag_id in enumerate(assignment):
+            if not 0 <= bag_id < len(bags):
+                raise ValueError(
+                    f"vertex {vertex} has invalid canonical bag id {bag_id} "
+                    f"(expected 0..{len(bags) - 1}); the scan order did not "
+                    "cover every vertex"
+                )
             self.assigned[bag_id].append(vertex)
         # membership sets for O(1) "a in X" tests
         self._member_sets = [set(bag) for bag in bags]
@@ -153,12 +159,112 @@ class NeighborhoodCover:
         )
 
 
+def _validated_order(graph: ColoredGraph, order: Sequence[int]) -> list[int]:
+    """Check a custom scan order and extend it to cover every vertex.
+
+    Entries must be in-range, non-duplicated vertices (``ValueError``
+    otherwise).  A *partial* order is legal: the greedy scan continues
+    over the remaining vertices in ascending order, so every vertex ends
+    up with a canonical bag — previously a partial order silently
+    corrupted the last bag via ``assignment[a] == -1``.
+    """
+    seen: set[int] = set()
+    scan: list[int] = []
+    for c in order:
+        if not isinstance(c, int) or not 0 <= c < graph.n:
+            raise ValueError(
+                f"scan order entry {c!r} is not a vertex of a graph on "
+                f"[0, {graph.n})"
+            )
+        if c in seen:
+            raise ValueError(f"scan order lists vertex {c} twice")
+        seen.add(c)
+        scan.append(c)
+    if len(scan) < graph.n:
+        scan.extend(v for v in graph.vertices() if v not in seen)
+    return scan
+
+
+def _scan_sequential(
+    graph: ColoredGraph,
+    radius: int,
+    order: Sequence[int],
+    assignment: list[int],
+    bags: list[list[int]],
+    centers: list[int],
+) -> None:
+    for c in order:
+        if assignment[c] != -1:
+            continue
+        big_ball = bounded_bfs(graph, [c], 2 * radius)
+        _commit_ball(radius, c, big_ball, assignment, bags, centers)
+
+
+def _scan_parallel(
+    graph: ColoredGraph,
+    radius: int,
+    order: Sequence[int],
+    assignment: list[int],
+    bags: list[list[int]],
+    centers: list[int],
+    workers: int,
+) -> None:
+    """Speculative BFS fan-out: identical output to the sequential scan.
+
+    Candidates still uncovered are taken in scan order in batches; their
+    ``N_2r`` balls are computed concurrently (the expensive, independent
+    step), then committed strictly in scan order, skipping candidates a
+    same-batch predecessor covered.  Whether a vertex becomes a center
+    depends only on earlier commits, so the greedy result is reproduced
+    exactly; the only waste is the discarded speculative balls.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    scan = list(order)
+    batch = max(4 * workers, 16)
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        pos = 0
+        while pos < len(scan):
+            candidates: list[int] = []
+            while pos < len(scan) and len(candidates) < batch:
+                c = scan[pos]
+                pos += 1
+                if assignment[c] == -1:
+                    candidates.append(c)
+            if not candidates:
+                continue
+            balls = pool.map(
+                lambda c: bounded_bfs(graph, [c], 2 * radius), candidates
+            )
+            for c, big_ball in zip(candidates, balls):
+                if assignment[c] != -1:
+                    continue
+                _commit_ball(radius, c, big_ball, assignment, bags, centers)
+
+
+def _commit_ball(
+    radius: int,
+    center: int,
+    big_ball: dict[int, int],
+    assignment: list[int],
+    bags: list[list[int]],
+    centers: list[int],
+) -> None:
+    bag_id = len(bags)
+    bags.append(sorted(big_ball))
+    centers.append(center)
+    for a, dist in big_ball.items():
+        if dist <= radius and assignment[a] == -1:
+            assignment[a] = bag_id
+
+
 @pseudo_linear(note="Theorem 4.4 greedy ball construction")
 def build_cover(
     graph: ColoredGraph,
     radius: int,
     eps: float = 0.5,
     order: Sequence[int] | None = None,
+    workers: int = 1,
 ) -> NeighborhoodCover:
     """Build an (r, 2r)-neighborhood cover greedily (Theorem 4.4).
 
@@ -172,26 +278,29 @@ def build_cover(
         Storing-structure exponent for the membership index.
     order:
         Scan order for choosing centers; defaults to a degeneracy order,
-        which empirically keeps the degree small on sparse classes.
+        which empirically keeps the degree small on sparse classes.  A
+        partial order is completed with the remaining vertices in
+        ascending order; invalid entries raise ``ValueError``.
+    workers:
+        Thread count for the speculative BFS fan-out; ``1`` runs the
+        plain sequential scan.  Both paths produce the identical cover.
     """
     if radius < 0:
         raise ValueError(f"radius must be non-negative, got {radius}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     n = graph.n
     if order is None:
         order = degeneracy_order(graph)
+    else:
+        order = _validated_order(graph, order)
     assignment = [-1] * n
     bags: list[list[int]] = []
     centers: list[int] = []
-    for c in order:
-        if assignment[c] != -1:
-            continue
-        bag_id = len(bags)
-        big_ball = bounded_bfs(graph, [c], 2 * radius)
-        bags.append(sorted(big_ball))
-        centers.append(c)
-        for a, dist in big_ball.items():
-            if dist <= radius and assignment[a] == -1:
-                assignment[a] = bag_id
+    if workers > 1:
+        _scan_parallel(graph, radius, order, assignment, bags, centers, workers)
+    else:
+        _scan_sequential(graph, radius, order, assignment, bags, centers)
     _metrics_count("cover.builds")
     _metrics_count("cover.bags", len(bags))
     return NeighborhoodCover(graph, radius, 2 * radius, bags, centers, assignment, eps)

@@ -1,0 +1,45 @@
+"""Persistence layer: snapshot a built index, reuse it across processes.
+
+See :mod:`repro.persist.snapshot` for the file format and trust rules
+and :mod:`repro.persist.fingerprint` for the cache key.  The CLI surface
+is ``repro warm`` (build + snapshot) and ``repro query --cache``
+(hit/miss/rebuild transparently).
+"""
+
+from repro.persist.fingerprint import (
+    FORMAT_VERSION,
+    graph_digest,
+    index_fingerprint,
+)
+from repro.persist.snapshot import (
+    MAGIC,
+    SNAPSHOT_SUFFIX,
+    SnapshotCorrupted,
+    SnapshotError,
+    SnapshotStale,
+    SnapshotVersionMismatch,
+    cache_path,
+    load_index,
+    load_or_build,
+    read_header,
+    save_index,
+    warm,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MAGIC",
+    "SNAPSHOT_SUFFIX",
+    "SnapshotCorrupted",
+    "SnapshotError",
+    "SnapshotStale",
+    "SnapshotVersionMismatch",
+    "cache_path",
+    "graph_digest",
+    "index_fingerprint",
+    "load_index",
+    "load_or_build",
+    "read_header",
+    "save_index",
+    "warm",
+]

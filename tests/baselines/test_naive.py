@@ -42,3 +42,28 @@ def test_bfs_oracle():
     assert not bfs_distance_at_most(g, 0, 3, 2)
     assert bfs_distance_at_most(g, 2, 2, 0)
     assert not bfs_distance_at_most(g, 0, 1, 0)
+
+
+def test_sorted_even_when_generator_is_shuffled(monkeypatch):
+    """bisect-based answering must not depend on the generator's order."""
+    import random
+
+    import repro.baselines.naive as naive_module
+    from repro.logic.semantics import solutions as real_solutions
+
+    def shuffled_solutions(graph, phi, free_order):
+        out = list(real_solutions(graph, phi, free_order))
+        random.Random(99).shuffle(out)
+        return iter(out)
+
+    monkeypatch.setattr(naive_module, "naive_solutions", shuffled_solutions)
+    g = random_tree(25, seed=3)
+    index = NaiveIndex(g, parse_formula("dist(x, y) <= 2"), (x, y))
+    reference = sorted(real_solutions(g, parse_formula("dist(x, y) <= 2"), [x, y]))
+    assert index.solutions == reference
+    # next_solution / enumerate(start) agree with the sorted reference
+    for start in [(0, 0), (3, 7), (12, 24), (24, 24)]:
+        expected = next((s for s in reference if s >= start), None)
+        assert index.next_solution(start) == expected
+        head = list(index.enumerate(start))[:3]
+        assert head == [s for s in reference if s >= start][:3]

@@ -83,3 +83,55 @@ def test_edgeless_graph():
 def test_negative_radius_rejected():
     with pytest.raises(ValueError):
         build_cover(ColoredGraph(2), -1)
+
+
+# ----------------------------------------------------------------------
+# custom scan orders (regression: partial orders silently corrupted bags)
+
+
+def test_empty_order_on_nonempty_graph():
+    """order=[] used to raise IndexError (assignment stayed -1)."""
+    g = random_tree(40, seed=3)
+    cover = build_cover(g, 1, order=[])
+    cover.check_properties()
+    assert all(0 <= cover.bag_of(v) < cover.num_bags for v in g.vertices())
+
+
+def test_partial_order_completes_coverage():
+    """A partial order used to leave assignment[a] == -1, silently
+    appending the stragglers to the *last* bag via assigned[-1]."""
+    g = random_tree(40, seed=3)
+    cover = build_cover(g, 1, order=[5, 17])
+    cover.check_properties()
+    assert min(cover.assignment) >= 0
+    # the explicitly listed vertices are scanned first, so they become
+    # centers (nothing covered them before)
+    assert cover.centers[0] == 5
+    seen = [v for assigned in cover.assigned for v in assigned]
+    assert sorted(seen) == list(g.vertices())
+
+
+def test_full_custom_order_still_exact():
+    g = path(12, palette=())
+    natural = build_cover(g, 1, order=list(range(12)))
+    partial = build_cover(g, 1, order=[0])  # completed with 1..11
+    assert natural.bags == partial.bags
+    assert natural.assignment == partial.assignment
+
+
+def test_invalid_orders_rejected():
+    g = random_tree(10, seed=1)
+    with pytest.raises(ValueError, match="twice"):
+        build_cover(g, 1, order=[3, 3])
+    with pytest.raises(ValueError, match="not a vertex"):
+        build_cover(g, 1, order=[10])
+    with pytest.raises(ValueError, match="not a vertex"):
+        build_cover(g, 1, order=[-1])
+
+
+def test_constructor_rejects_unassigned_vertices():
+    from repro.covers.neighborhood_cover import NeighborhoodCover
+
+    g = path(3, palette=())
+    with pytest.raises(ValueError, match="did not cover"):
+        NeighborhoodCover(g, 1, 2, [[0, 1, 2]], [1], [0, 0, -1], 0.5)

@@ -213,3 +213,52 @@ def test_gate_checks_register_ops_strictly():
 def test_gate_skips_single_point_series():
     verdicts = check_gate(_fake_payload(_series([(64, 1e-6)])))
     assert verdicts == []
+
+
+# ----------------------------------------------------------------------
+# E15: persistence + parallel preprocessing
+
+
+def _warm_series(points):
+    records = []
+    for n, speedup in points:
+        records.append(
+            {
+                "experiment": "E15",
+                "group": "bench_persist",
+                "fullname": f"benchmarks/bench_persist.py::test_warm_vs_cold[{n}]",
+                "name": f"test_warm_vs_cold[{n}]",
+                "params": {"n": n},
+                "stats": {
+                    "mean": 1e-3, "min": 1e-3, "max": 1e-3,
+                    "stddev": 0.0, "rounds": 1,
+                },
+                "extra_info": {"warm_speedup_vs_cold": speedup},
+            }
+        )
+    return records
+
+
+def test_run_suite_e15_records_and_equivalence():
+    payload = run_suite(TINY, ["E15"])
+    assert validate_results(payload) == []
+    names = [record["name"] for record in payload["benchmarks"]]
+    assert f"test_warm_vs_cold[{TINY.small_sizes[0]}]" in names
+    assert f"test_parallel_build[2-{TINY.small_sizes[0]}]" in names
+    for record in payload["benchmarks"]:
+        if record["name"].startswith("test_warm_vs_cold"):
+            assert record["extra_info"]["answers_match"] is True
+            assert record["extra_info"]["snapshot_bytes"] > 0
+        if record["name"].startswith("test_parallel_build"):
+            assert record["extra_info"]["matches_sequential"] is True
+            assert record["params"]["workers"] == 2
+
+
+def test_gate_warm_speedup_is_a_floor():
+    verdicts = check_gate(_fake_payload(_warm_series([(64, 16.0), (128, 7.3)])))
+    warm = [v for v in verdicts if v["metric"] == "extra:warm_speedup_vs_cold"]
+    assert warm and all(v["passed"] for v in warm)
+
+    verdicts = check_gate(_fake_payload(_warm_series([(64, 16.0), (128, 3.0)])))
+    warm = [v for v in verdicts if v["metric"] == "extra:warm_speedup_vs_cold"]
+    assert warm and not any(v["passed"] for v in warm)

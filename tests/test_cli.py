@@ -135,3 +135,71 @@ def test_bench_suite_rejects_unknown_experiment(tmp_path, capsys):
         "-o", str(tmp_path / "r.json"),
     ]) == 2
     assert "unknown experiment" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# wrong-arity probes (regression: raw ValueError traceback escaped)
+
+
+def test_query_wrong_arity_test_exits_2(graph_file, capsys):
+    code = main(["query", graph_file, "E(x, y)", "--test", "0,1,2"])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "repro query:" in captured.err
+    assert "2-tuple" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_query_wrong_arity_next_exits_2(graph_file, capsys):
+    code = main(["query", graph_file, "E(x, y)", "--next", "7"])
+    assert code == 2
+    assert "repro query:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# snapshot cache / warm
+
+
+def test_query_cache_miss_then_hit(graph_file, tmp_path, capsys):
+    cache = str(tmp_path / "cache")
+    assert main(["query", graph_file, "E(x, y)", "--cache", cache, "--count"]) == 0
+    first = capsys.readouterr().out
+    assert "index miss" in first and "count: 78" in first
+    assert main(["query", graph_file, "E(x, y)", "--cache", cache, "--count"]) == 0
+    second = capsys.readouterr().out
+    assert "index hit" in second and "count: 78" in second
+
+
+def test_query_cache_corrupted_snapshot_still_answers(graph_file, tmp_path, capsys):
+    cache = tmp_path / "cache"
+    assert main(["query", graph_file, "E(x, y)", "--cache", str(cache)]) == 0
+    capsys.readouterr()
+    snapshots = list(cache.glob("*.rpx"))
+    assert len(snapshots) == 1
+    snapshots[0].write_bytes(snapshots[0].read_bytes()[:-25])
+    assert main(["query", graph_file, "E(x, y)", "--cache", str(cache), "--count"]) == 0
+    out = capsys.readouterr().out
+    assert "index rebuilt" in out and "count: 78" in out
+
+
+def test_warm_then_query_cache_hits(graph_file, tmp_path, capsys):
+    from repro.persist import SNAPSHOT_SUFFIX, load_index
+
+    target = tmp_path / f"warm{SNAPSHOT_SUFFIX}"
+    assert main(["warm", graph_file, "E(x, y)", "-o", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "warmed" in out and "fingerprint" in out
+    assert target.exists()
+    index = load_index(target)
+    assert index.arity == 2
+    assert index.count() == 78  # the snapshot answers without rebuilding
+
+
+def test_query_workers_flag(graph_file, capsys):
+    assert main(["query", graph_file, "E(x, y)", "--count", "--workers", "2"]) == 0
+    assert "count: 78" in capsys.readouterr().out
+
+
+def test_query_workers_invalid(graph_file):
+    with pytest.raises(SystemExit):
+        main(["query", graph_file, "E(x, y)", "--workers", "0"])
