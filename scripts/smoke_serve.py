@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""CI smoke test for ``repro serve``: real subprocess, real sockets.
+
+Starts the server exactly as a user would (``python -m repro serve``),
+then drives every endpoint through the stdlib client and asserts:
+
+* a cold miss answers correctly and the identical request then hits the
+  warm cache;
+* enumerate pages stitch together into exactly the oracle's result set;
+* 8 concurrent clients all agree with a single-threaded oracle and the
+  simultaneous cold miss triggers exactly one build;
+* ``/metrics`` exposes ``engine.*`` counters and the enumeration delay
+  histogram;
+* malformed requests come back as clean 400s, never 500s;
+* the server shuts down cleanly on SIGINT.
+
+Run from the repo root: ``python scripts/smoke_serve.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.engine import build_index  # noqa: E402
+from repro.graphs.generators import random_tree  # noqa: E402
+from repro.serve.client import (  # noqa: E402
+    ServiceClient,
+    ServiceClientError,
+    family_spec,
+)
+
+QUERY = "exists z. E(x, z) & E(z, y)"
+SPEC = family_spec("random_tree", 48, seed=9)
+CLIENTS = 8
+
+_checks = 0
+
+
+def check(condition: bool, what: str) -> None:
+    global _checks
+    _checks += 1
+    if not condition:
+        print(f"FAIL: {what}", file=sys.stderr)
+        sys.exit(1)
+    print(f"  ok: {what}")
+
+
+def start_server() -> tuple[subprocess.Popen, str]:
+    env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    line = proc.stdout.readline()
+    match = re.search(r"http://([\d.]+):(\d+)", line)
+    if match is None:
+        proc.terminate()
+        print(f"FAIL: could not parse server address from {line!r}", file=sys.stderr)
+        sys.exit(1)
+    return proc, f"http://{match.group(1)}:{match.group(2)}"
+
+
+def main() -> int:
+    oracle = build_index(random_tree(48, seed=9), QUERY)
+    solutions = list(oracle.enumerate())
+    proc, url = start_server()
+    print(f"server up at {url}; oracle has {len(solutions)} solutions")
+    try:
+        client = ServiceClient(url, timeout=120.0)
+        check(client.health(), "/healthz answers")
+
+        # --- cold miss -> warm hit on the same fingerprint -------------
+        check(client.count(SPEC, QUERY) == len(solutions), "count matches oracle")
+        check(client.last_index_meta["status"] == "built", "first request built")
+        client.count(SPEC, QUERY)
+        check(client.last_index_meta["status"] == "hit", "second request hit")
+
+        # --- every endpoint -------------------------------------------
+        probe = solutions[0]
+        check(client.test(SPEC, QUERY, probe) is True, "test on a solution")
+        non_solution = next(
+            (u, v)
+            for u in range(48)
+            for v in range(48)
+            if (u, v) not in set(solutions)
+        )
+        check(
+            client.test(SPEC, QUERY, non_solution) is False, "test on a non-solution"
+        )
+        check(
+            client.next_solution(SPEC, QUERY, (0, 0)) == oracle.next_solution((0, 0)),
+            "next_solution matches oracle",
+        )
+        paged = list(client.enumerate(SPEC, QUERY, page_size=7))
+        check(paged == solutions, "paged enumerate equals the oracle")
+        check(client.explain(QUERY)["decomposable"] is True, "explain answers")
+        check(client.stats()["cache"]["builds"] == 1, "stats shows one build")
+
+        # --- 8 concurrent clients vs the oracle, one build ------------
+        cold_query = "E(x, y)"  # untouched so far: a fresh fingerprint
+        cold_oracle = build_index(random_tree(48, seed=9), cold_query)
+        cold_solutions = list(cold_oracle.enumerate())
+        builds_before = client.stats()["cache"]["builds"]
+
+        def hammer(worker: int) -> bool:
+            mine = ServiceClient(url, timeout=120.0)
+            good = mine.count(SPEC, cold_query) == len(cold_solutions)
+            probe = cold_solutions[worker % len(cold_solutions)]
+            good &= mine.test(SPEC, cold_query, probe) is True
+            page, _ = mine.enumerate_page(SPEC, cold_query, limit=5)
+            return good and page == cold_solutions[:5]
+
+        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            agreed = list(pool.map(hammer, range(CLIENTS)))
+        check(all(agreed), f"{CLIENTS} concurrent clients agree with the oracle")
+        builds_after = client.stats()["cache"]["builds"]
+        check(
+            builds_after - builds_before == 1,
+            f"{CLIENTS} simultaneous cold misses -> exactly one build",
+        )
+
+        # --- /metrics: the paper's instrumentation is live ------------
+        dump = client.metrics()
+        check(dump["collecting"] is True, "/metrics registry is collecting")
+        counters = dump["registry"]["counters"]
+        check(counters.get("engine.test", 0) >= 1, "engine.test counter exposed")
+        check(
+            counters.get("engine.next_solution", 0) >= 1,
+            "engine.next_solution counter exposed",
+        )
+        delays = dump["registry"]["histograms"].get("enumeration.delay_seconds")
+        check(
+            delays is not None and delays["count"] >= len(solutions),
+            "enumeration delay histogram exposed",
+        )
+
+        # --- malformed input: clean 4xx, never a 500 ------------------
+        for what, call in [
+            ("bad query syntax", lambda: client.count(SPEC, "E(x,")),
+            ("wrong arity", lambda: client.test(SPEC, QUERY, (1, 2, 3))),
+            ("oversized page", lambda: client.enumerate_page(SPEC, QUERY, limit=10**6)),
+            ("unknown family", lambda: client.count(family_spec("clique", 9), QUERY)),
+        ]:
+            try:
+                call()
+            except ServiceClientError as exc:
+                check(exc.status == 400, f"{what} -> 400")
+            else:
+                check(False, f"{what} was not rejected")
+    finally:
+        proc.send_signal(signal.SIGINT)
+        try:
+            code = proc.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            print("FAIL: server did not shut down on SIGINT", file=sys.stderr)
+            return 1
+    check(code == 0, "server exited 0 on SIGINT")
+    print(f"smoke_serve: all {_checks} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

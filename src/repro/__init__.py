@@ -23,10 +23,11 @@ reproduced claims.
 
 from repro.core.config import EngineConfig
 from repro.core.counting import CountingIndex, count_solutions
-from repro.core.engine import QueryIndex, build_index
+from repro.core.engine import Page, QueryIndex, build_index
 from repro.db.adjacency import adjacency_graph
 from repro.db.database import Database
 from repro.db.rewrite import rewrite_query
+from repro.errors import ReproError
 from repro.graphs.colored_graph import ColoredGraph
 from repro.logic.diagnostics import explain
 from repro.logic.parser import parse_formula
@@ -35,8 +36,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "QueryIndex",
+    "Page",
     "build_index",
     "EngineConfig",
+    "ReproError",
     "CountingIndex",
     "count_solutions",
     "ColoredGraph",

@@ -33,10 +33,22 @@ Commands
     needed), write schema-validated results JSON, and check the O(1)
     regression gate.  See :mod:`repro.benchrunner`.
 
+``serve [--host H] [--port P] [--snapshot-dir DIR] [--graph-root DIR] ...``
+    Run the long-lived HTTP query service: JSON endpoints for ``test`` /
+    ``next`` / ``enumerate`` (cursor-paginated) / ``count`` /
+    ``explain`` plus ``/metrics``, over a shared LRU cache of built
+    indexes with per-key build deduplication.  See :mod:`repro.serve`
+    and ``docs/serving.md``.
+
 ``lint [PATHS...] [--format text|json]``
     Statically check the complexity contracts (``@constant_time`` /
     ``@delay`` / ``@pseudo_linear`` annotations) over the given paths;
     defaults to the installed ``repro`` package itself.
+
+Error handling: library code raises :class:`repro.errors.ReproError`
+subclasses; :func:`main` is a thin mapper from those to one-line stderr
+messages and exit codes (2 for bad input, 1 for valid requests the
+engine cannot satisfy).
 """
 
 from __future__ import annotations
@@ -47,6 +59,7 @@ import time
 from pathlib import Path
 
 from repro.core.engine import build_index
+from repro.errors import ReproError, UsageError
 from repro.graphs.colored_graph import ColoredGraph
 from repro.graphs.generators import FAMILIES
 from repro.graphs.io import read_edge_list, read_json, write_edge_list, write_json
@@ -56,24 +69,34 @@ from repro.logic.diagnostics import explain
 
 def _load_graph(path: str) -> ColoredGraph:
     source = Path(path)
-    if source.suffix == ".json":
-        loaded = read_json(source)
-        if not isinstance(loaded, ColoredGraph):
-            raise SystemExit(f"{path} holds a database, not a colored graph")
-        return loaded
-    return read_edge_list(source)
+    try:
+        if source.suffix == ".json":
+            loaded = read_json(source)
+            if not isinstance(loaded, ColoredGraph):
+                raise UsageError(f"{path} holds a database, not a colored graph")
+            return loaded
+        return read_edge_list(source)
+    except OSError as exc:
+        raise UsageError(f"cannot read {path}: {exc.strerror or exc}") from None
 
 
 def _parse_tuple(text: str) -> tuple[int, ...]:
+    parts = [part.strip() for part in text.split(",")]
+    if not any(parts) or any(not part for part in parts):
+        raise UsageError(
+            f"expected a comma-separated tuple of integers, got {text!r}"
+        )
     try:
-        return tuple(int(part) for part in text.split(","))
+        return tuple(int(part) for part in parts)
     except ValueError:
-        raise SystemExit(f"expected a comma-separated tuple, got {text!r}")
+        raise UsageError(
+            f"expected a comma-separated tuple of integers, got {text!r}"
+        ) from None
 
 
 def _cmd_generate(args) -> int:
     if args.family not in FAMILIES:
-        raise SystemExit(
+        raise UsageError(
             f"unknown family {args.family!r}; choose from {sorted(FAMILIES)}"
         )
     graph = FAMILIES[args.family](args.n, seed=args.seed)
@@ -112,13 +135,15 @@ def _engine_config(args):
 
     workers = getattr(args, "workers", 1)
     if workers < 1:
-        raise SystemExit(f"--workers must be >= 1, got {workers}")
+        raise UsageError(f"--workers must be >= 1, got {workers}")
     if workers == 1:
         return DEFAULT_CONFIG
     return EngineConfig(workers=workers)
 
 
 def _cmd_query(args) -> int:
+    if args.enumerate is not None and args.enumerate < 1:
+        raise UsageError(f"--enumerate must be >= 1, got {args.enumerate}")
     graph = _load_graph(args.graph)
     config = _engine_config(args)
     if args.cache:
@@ -158,12 +183,18 @@ def _cmd_query(args) -> int:
         print(f"repro query: {exc}", file=sys.stderr)
         return 2
     if args.enumerate:
-        shown = 0
-        for solution in index.enumerate():
-            print(" ".join(map(str, solution)))
-            shown += 1
-            if shown >= args.enumerate:
+        # first-class pagination (Page/next_cursor) rather than slicing a
+        # full enumeration — same code path the serve endpoint uses
+        remaining = args.enumerate
+        cursor = None
+        while remaining > 0:
+            page = index.enumerate_page(start=cursor, limit=min(remaining, 500))
+            for solution in page.items:
+                print(" ".join(map(str, solution)))
+            remaining -= len(page.items)
+            if page.next_cursor is None:
                 break
+            cursor = page.next_cursor
     return 0
 
 
@@ -218,6 +249,46 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro import metrics
+    from repro.serve import QueryService, create_server
+
+    if args.max_page_size < 1:
+        raise UsageError(f"--max-page-size must be >= 1, got {args.max_page_size}")
+    if args.cache_entries < 1:
+        raise UsageError(f"--cache-entries must be >= 1, got {args.cache_entries}")
+    if args.max_builds < 1:
+        raise UsageError(f"--max-builds must be >= 1, got {args.max_builds}")
+    service = QueryService(
+        cache_entries=args.cache_entries,
+        snapshot_dir=args.snapshot_dir,
+        graph_root=args.graph_root,
+        max_page_size=args.max_page_size,
+        build_wait_seconds=args.build_timeout,
+        max_in_flight_builds=args.max_builds,
+        config=_engine_config(args),
+    )
+    server = create_server(
+        service,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+    )
+    host, port = server.server_address[:2]
+    print(f"repro serve: listening on http://{host}:{port}", flush=True)
+    try:
+        # a live registry for the server's lifetime makes /metrics real:
+        # engine.* counters, enumeration delay histograms, serve.* cache
+        # counters (ops=False keeps contracted calls unpatched and fast)
+        with metrics.collect(ops=False):
+            server.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+    return 0
+
+
 def _cmd_bench_suite(args) -> int:
     from repro.benchrunner import run_cli as bench_suite_cli
 
@@ -267,7 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--stats", action="store_true")
     query.add_argument("--test", metavar="a,b")
     query.add_argument("--next", metavar="a,b")
-    query.add_argument("--enumerate", type=int, default=0, metavar="N")
+    query.add_argument("--enumerate", type=int, default=None, metavar="N")
     query.add_argument("--cache", metavar="DIR", default=None,
                        help="serve from (and save to) a snapshot cache directory")
     query.add_argument("--workers", type=int, default=1, metavar="N",
@@ -291,6 +362,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("query")
     bench.set_defaults(func=_cmd_bench)
 
+    serve = commands.add_parser(
+        "serve", help="run the HTTP query service with a shared index cache"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--snapshot-dir", metavar="DIR", default=None,
+                       help="back the in-memory cache with .rpx snapshots")
+    serve.add_argument("--graph-root", metavar="DIR", default=None,
+                       help="allow 'graph_path' requests under this directory")
+    serve.add_argument("--cache-entries", type=int, default=8, metavar="N",
+                       help="warm indexes kept in the LRU (default 8)")
+    serve.add_argument("--max-page-size", type=int, default=1000, metavar="N",
+                       help="cap on one enumerate page (default 1000)")
+    serve.add_argument("--max-builds", type=int, default=4, metavar="N",
+                       help="concurrent distinct index builds (default 4)")
+    serve.add_argument("--build-timeout", type=float, default=60.0, metavar="S",
+                       help="seconds a request waits on an in-flight build")
+    serve.add_argument("--request-timeout", type=float, default=30.0, metavar="S",
+                       help="socket read timeout per request")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="threads for the per-bag preprocessing fan-out")
+    serve.set_defaults(func=_cmd_serve)
+
     from repro.benchrunner import add_arguments as _bench_suite_arguments
 
     bench_suite = commands.add_parser(
@@ -310,9 +405,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    The thin-mapper contract: library code raises
+    :class:`~repro.errors.ReproError` subclasses and this function turns
+    them into ``repro <command>: <message>`` on stderr plus the
+    subclass's ``exit_code`` — bad input (``UsageError``, parse and
+    graph-format errors) exits 2, valid-but-unsatisfiable requests
+    (e.g. ``--method indexed`` on an undecomposable query) exit 1.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
+        return exc.exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

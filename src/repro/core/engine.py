@@ -18,14 +18,35 @@ from repro.baselines.naive import NaiveIndex
 from repro.contracts import constant_time, delay, pseudo_linear
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.enumeration import enumerate_solutions
-from repro.core.next_solution import NextSolutionIndex
+from repro.core.next_solution import NextSolutionIndex, increment_tuple
 from repro.core.normal_form import DecompositionError
 from repro.graphs.colored_graph import ColoredGraph
 from repro.logic.parser import parse_formula
 from repro.logic.syntax import Formula, Var
 from repro.logic.transform import free_variables
 from repro.metrics.runtime import count as _metrics_count
+from repro.metrics.runtime import delay_recorder as _delay_recorder
 from repro.metrics.runtime import observe as _metrics_observe
+
+
+@dataclass(frozen=True)
+class Page:
+    """One page of an enumeration (see :meth:`QueryIndex.enumerate_page`).
+
+    ``next_cursor`` is the tuple to resume from — pass it back as
+    ``start`` to fetch the following page — or ``None`` when the
+    enumeration is exhausted.  It is always a genuine solution (the next
+    one after this page), so an immediate resume returns it first.
+    """
+
+    items: list[tuple[int, ...]]
+    next_cursor: tuple[int, ...] | None
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
 
 
 @dataclass
@@ -39,6 +60,19 @@ class QueryIndex:
         fallback for undecomposable queries).
     preprocessing_seconds:
         Wall-clock time of the preprocessing phase.
+
+    **Thread safety.** Once built, a ``QueryIndex`` is safe for any
+    number of concurrent *reader* threads (``test`` / ``next_solution``
+    / ``enumerate`` / ``enumerate_page`` / ``count``) without locks.
+    The query paths never mutate shared state except for *idempotent
+    memoization*: lazily-built bag solvers, cached sentence checks and
+    cached bag queries are pure functions of the immutable built
+    structure, and each cache fill is a single ``dict`` item assignment
+    (atomic under the GIL).  Racing readers can at worst duplicate work,
+    never observe a wrong or partially-built value — verified by
+    ``tests/core/test_concurrent_readers.py``.  Each ``enumerate``
+    iterator carries its own cursor state, so concurrent enumerations do
+    not interfere.
     """
 
     graph: ColoredGraph
@@ -60,15 +94,42 @@ class QueryIndex:
 
     @constant_time(note="Corollary 2.4 via the chosen implementation")
     def test(self, values: Sequence[int]) -> bool:
-        """Corollary 2.4: constant-time membership testing."""
+        """Corollary 2.4: constant-time membership testing.
+
+        Total over ``int`` tuples of the right arity: values outside the
+        vertex domain ``[0, n)`` are simply not solutions (``False``),
+        never an internal error.
+        """
         _metrics_count("engine.test")
-        return self._impl.test(tuple(values))
+        probe = tuple(values)
+        if len(probe) != self.arity:
+            raise ValueError(
+                f"expected a {self.arity}-tuple, got {len(probe)} values"
+            )
+        n = self.graph.n
+        for v in probe:
+            if v < 0 or v >= n:
+                return False
+        return self._impl.test(probe)
 
     @constant_time(note="Theorem 2.3 via the chosen implementation")
     def next_solution(self, start: Sequence[int]) -> tuple[int, ...] | None:
-        """Theorem 2.3: smallest solution ``>= start`` (lexicographic)."""
+        """Theorem 2.3: smallest solution ``>= start`` (lexicographic).
+
+        ``start`` is a lower bound, not necessarily a domain tuple: any
+        integer coordinates are accepted and normalized to the smallest
+        domain tuple ``>= start`` first (constant time, arity fixed).
+        """
         _metrics_count("engine.next_solution")
-        return self._impl.next_solution(tuple(start))
+        probe = tuple(start)
+        if len(probe) != self.arity:
+            raise ValueError(
+                f"expected a {self.arity}-tuple, got {len(probe)} values"
+            )
+        clamped = _clamp_start(probe, self.graph.n)
+        if clamped is None:
+            return None
+        return self._impl.next_solution(clamped)
 
     @delay("O(1)", note="Corollary 2.5; naive fallback materializes upfront")
     def enumerate(
@@ -86,6 +147,50 @@ class QueryIndex:
         return enumerate_solutions(
             self._impl, None if start is None else tuple(start)
         )
+
+    @delay("O(1)", note="Corollary 2.5 pagination: one next_solution call per item")
+    def enumerate_page(
+        self, start: Sequence[int] | None = None, limit: int = 100
+    ) -> Page:
+        """One page of :meth:`enumerate`: up to ``limit`` solutions from ``start``.
+
+        First-class pagination on top of Theorem 2.3's oracle: every
+        page costs ``O(limit)`` oracle calls regardless of where in the
+        result set it starts, so resuming from :attr:`Page.next_cursor`
+        is exactly as cheap as starting over — there is no hidden
+        re-scan.  Raises ``ValueError`` on a non-positive ``limit``.
+
+        Per-answer delays land in the same ``enumeration.delay_seconds``
+        histogram :func:`~repro.core.enumeration.enumerate_solutions`
+        feeds (when :func:`repro.metrics.collect` is active).
+        """
+        if limit < 1:
+            raise ValueError(f"page limit must be >= 1, got {limit}")
+        if self.arity == 0:
+            return Page([()] if self.test(()) else [], None)
+        n = self.graph.n
+        if n == 0:
+            return Page([], None)
+        cursor = tuple(start) if start is not None else (0,) * self.arity
+        record = _delay_recorder("enumeration.delay_seconds")
+        tick = time.perf_counter() if record is not None else 0.0
+        items: list[tuple[int, ...]] = []
+        while len(items) < limit:
+            found = self.next_solution(cursor)
+            if found is None:
+                return Page(items, None)
+            if record is not None:
+                now = time.perf_counter()
+                record(now - tick)
+                tick = now
+            items.append(found)
+            bumped = increment_tuple(found, n)
+            if bumped is None:
+                return Page(items, None)
+            cursor = bumped
+        # one O(1) peek decides between "more pages" and "exhausted", and
+        # doubles as the resume point so the next page skips straight to it
+        return Page(items, self.next_solution(cursor))
 
     def count(self) -> int:
         """|phi(G)| by full enumeration (the paper cites [18] for faster).
@@ -137,6 +242,30 @@ class QueryIndex:
                 break
         out["levels"] = levels
         return out
+
+
+@constant_time(note="one pass over k coordinates, k fixed")
+def _clamp_start(start: tuple[int, ...], n: int) -> tuple[int, ...] | None:
+    """The smallest tuple in ``[0, n)^k`` that is ``>= start``, or None.
+
+    Makes ``next_solution`` total over integer lower bounds: a negative
+    coordinate rounds the suffix up to zeros, a coordinate ``>= n``
+    carries into the prefix (there is no tuple with that prefix left).
+    """
+    out = list(start)
+    for i, v in enumerate(out):
+        if v < 0:
+            for j in range(i, len(out)):
+                out[j] = 0
+            break
+        if v >= n:
+            if i == 0:
+                return None
+            bumped = increment_tuple(tuple(out[:i]), n)
+            if bumped is None:
+                return None
+            return tuple(bumped) + (0,) * (len(out) - i)
+    return tuple(out)
 
 
 @pseudo_linear(note="Theorem 2.3 preprocessing (or naive fallback)")

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 
 from repro.contracts import constant_time
 from repro.core.distance_types import DistanceType, all_types
+from repro.errors import ReproError
 from repro.logic.guards import deep_counterexample_guard, deep_guard
 from repro.logic.ranks import max_distance_bound
 from repro.logic.syntax import (
@@ -69,8 +70,12 @@ from repro.logic.transform import (
 MAX_DNF_CLAUSES = 512
 
 
-class DecompositionError(ValueError):
-    """The query is outside the syntactically decomposable fragment."""
+class DecompositionError(ReproError, ValueError):
+    """The query is outside the syntactically decomposable fragment.
+
+    Part of the :mod:`repro.errors` hierarchy; still a ``ValueError``
+    for pre-hierarchy call sites that catch it as one.
+    """
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,95 @@
+"""Unified exception hierarchy (``repro.errors``).
+
+Every error the library raises because of *user input* — malformed
+formula text, a broken graph file, an out-of-fragment query asked to use
+the indexed engine, a rejected snapshot, a bad CLI flag or service
+request — derives from :class:`ReproError`.  Internal invariant
+violations stay plain ``AssertionError``/``RuntimeError``; genuinely
+programmatic misuse (wrong types passed to library functions) stays
+``TypeError``/``ValueError``.
+
+Two consequences:
+
+* the CLI (:mod:`repro.cli`) is a thin mapper: it catches
+  :class:`ReproError` at the top level and turns it into a one-line
+  message on stderr plus the subclass's :attr:`~ReproError.exit_code` —
+  no scattered ``SystemExit`` calls in library code;
+* the HTTP service (:mod:`repro.serve`) maps the same hierarchy onto
+  status codes (input errors become 4xx responses, never tracebacks).
+
+Backwards compatibility: the pre-existing exception classes keep their
+historical bases *in addition to* :class:`ReproError` —
+:class:`~repro.logic.parser.ParseError` and
+:class:`~repro.core.normal_form.DecompositionError` are still
+``ValueError`` subclasses, so ``except ValueError:`` call sites keep
+working — and every class is importable from here as well as from its
+defining module (lazily, so this module stays import-cycle free).
+"""
+
+from __future__ import annotations
+
+import importlib
+
+
+class ReproError(Exception):
+    """Base class for every user-input error the library raises.
+
+    Attributes
+    ----------
+    exit_code:
+        What the ``repro`` CLI exits with when this error reaches
+        :func:`repro.cli.main` uncaught.  ``2`` marks bad input (the
+        argparse convention), ``1`` marks a valid request the engine
+        could not satisfy.
+    """
+
+    exit_code = 1
+
+
+class UsageError(ReproError):
+    """Malformed command-line or request input (CLI exit code 2)."""
+
+    exit_code = 2
+
+
+class GraphFormatError(ReproError, ValueError):
+    """A graph or database document could not be parsed.
+
+    Subclasses ``ValueError`` so pre-hierarchy call sites that caught
+    ``ValueError`` around :mod:`repro.graphs.io` readers keep working.
+    """
+
+    exit_code = 2
+
+
+#: name -> defining module, for the lazy re-exports below.
+_ALIASES = {
+    "ParseError": "repro.logic.parser",
+    "DecompositionError": "repro.core.normal_form",
+    "SnapshotError": "repro.persist.snapshot",
+    "SnapshotCorrupted": "repro.persist.snapshot",
+    "SnapshotVersionMismatch": "repro.persist.snapshot",
+    "SnapshotStale": "repro.persist.snapshot",
+    "ReportError": "repro.reporting",
+    "ServeError": "repro.serve.service",
+    "BadRequest": "repro.serve.service",
+    "ServiceUnavailable": "repro.serve.service",
+}
+
+__all__ = [
+    "ReproError",
+    "UsageError",
+    "GraphFormatError",
+    *sorted(_ALIASES),
+]
+
+
+def __getattr__(name: str):
+    module = _ALIASES.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_ALIASES))

@@ -24,6 +24,7 @@ import json
 from pathlib import Path
 
 from repro.db.database import Database, Schema
+from repro.errors import GraphFormatError
 from repro.graphs.colored_graph import ColoredGraph
 
 
@@ -47,7 +48,8 @@ def dumps_edge_list(graph: ColoredGraph) -> str:
 def loads_edge_list(text: str) -> ColoredGraph:
     """Parse the edge-list text format.
 
-    Raises ``ValueError`` with a line number on malformed input.
+    Raises :class:`~repro.errors.GraphFormatError` (a ``ValueError``
+    subclass) with a line number on malformed input.
     """
     n: int | None = None
     edges: list[tuple[int, int]] = []
@@ -68,9 +70,9 @@ def loads_edge_list(text: str) -> ColoredGraph:
             else:
                 raise ValueError(f"unknown record type {tag!r}")
         except (IndexError, ValueError) as error:
-            raise ValueError(f"line {lineno}: {error}") from None
+            raise GraphFormatError(f"line {lineno}: {error}") from None
     if n is None:
-        raise ValueError("missing 'n <count>' header line")
+        raise GraphFormatError("missing 'n <count>' header line")
     return ColoredGraph(n, edges, colors=colors)
 
 
@@ -106,12 +108,17 @@ def graph_to_json(graph: ColoredGraph) -> dict:
 def graph_from_json(data: dict) -> ColoredGraph:
     """Rebuild a colored graph from :func:`graph_to_json` output."""
     if data.get("kind") != "colored_graph":
-        raise ValueError(f"not a colored_graph document: kind={data.get('kind')!r}")
-    return ColoredGraph(
-        data["n"],
-        (tuple(edge) for edge in data["edges"]),
-        colors=data.get("colors", {}),
-    )
+        raise GraphFormatError(
+            f"not a colored_graph document: kind={data.get('kind')!r}"
+        )
+    try:
+        return ColoredGraph(
+            data["n"],
+            (tuple(edge) for edge in data["edges"]),
+            colors=data.get("colors", {}),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise GraphFormatError(f"malformed colored_graph document: {error}") from None
 
 
 def database_to_json(db: Database) -> dict:
@@ -130,7 +137,7 @@ def database_to_json(db: Database) -> dict:
 def database_from_json(data: dict) -> Database:
     """Rebuild a database from :func:`database_to_json` output."""
     if data.get("kind") != "database":
-        raise ValueError(f"not a database document: kind={data.get('kind')!r}")
+        raise GraphFormatError(f"not a database document: kind={data.get('kind')!r}")
     db = Database(Schema(data["schema"]), domain_size=data["domain_size"])
     for fact in data["tuples"]:
         db.add(fact["relation"], fact["values"])
@@ -150,10 +157,15 @@ def write_json(obj: ColoredGraph | Database, path: str | Path) -> None:
 
 def read_json(path: str | Path) -> ColoredGraph | Database:
     """Load a graph or database from a JSON file (dispatch on "kind")."""
-    data = json.loads(Path(path).read_text())
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as error:
+        raise GraphFormatError(f"{path}: invalid JSON: {error}") from None
+    if not isinstance(data, dict):
+        raise GraphFormatError(f"{path}: expected a JSON object document")
     kind = data.get("kind")
     if kind == "colored_graph":
         return graph_from_json(data)
     if kind == "database":
         return database_from_json(data)
-    raise ValueError(f"unknown document kind {kind!r}")
+    raise GraphFormatError(f"unknown document kind {kind!r}")

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import re
 
+from repro.errors import ReproError
 from repro.logic.syntax import (
     And,
     Bottom,
@@ -43,8 +44,14 @@ from repro.logic.syntax import (
 )
 
 
-class ParseError(ValueError):
-    """Raised on malformed formula text, with position information."""
+class ParseError(ReproError, ValueError):
+    """Raised on malformed formula text, with position information.
+
+    Part of the :mod:`repro.errors` hierarchy (bad user input, CLI exit
+    code 2); still a ``ValueError`` for pre-hierarchy call sites.
+    """
+
+    exit_code = 2
 
 
 _TOKEN_RE = re.compile(

@@ -14,6 +14,7 @@ inside one.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from typing import Any
 
@@ -165,23 +166,31 @@ class MetricsRegistry:
         #: qualified contracted-function name -> call count (see
         #: :func:`repro.contracts.decorators.instrument`).
         self.op_counts: dict[str, int] = {}
+        # Guards first-use child creation only (a long-lived registry is
+        # shared by every server thread; without it two threads could
+        # each create "the" counter and one's increments would vanish).
+        # The hit path stays a lock-free dict.get.
+        self._create_lock = threading.Lock()
 
     def counter(self, name: str) -> Counter:
         found = self.counters.get(name)
         if found is None:
-            found = self.counters[name] = Counter(name)
+            with self._create_lock:
+                found = self.counters.setdefault(name, Counter(name))
         return found
 
     def timer(self, name: str) -> Timer:
         found = self.timers.get(name)
         if found is None:
-            found = self.timers[name] = Timer(name)
+            with self._create_lock:
+                found = self.timers.setdefault(name, Timer(name))
         return found
 
     def histogram(self, name: str) -> Histogram:
         found = self.histograms.get(name)
         if found is None:
-            found = self.histograms[name] = Histogram(name)
+            with self._create_lock:
+                found = self.histograms.setdefault(name, Histogram(name))
         return found
 
     def snapshot(self) -> dict[str, Any]:

@@ -66,8 +66,15 @@ def index_fingerprint(
     free_order: Sequence[Var | str] | None = None,
     config: EngineConfig | None = None,
     method: str = "auto",
+    graph_digest_hint: str | None = None,
 ) -> str:
-    """The cache key a snapshot of ``build_index(...)`` is stored under."""
+    """The cache key a snapshot of ``build_index(...)`` is stored under.
+
+    ``graph_digest_hint`` lets callers that already computed
+    :func:`graph_digest` (e.g. the query service's graph store, which
+    digests each graph once at load time) skip the ``O(n)``
+    re-serialization; it must be the digest of ``graph``.
+    """
     phi = parse_formula(query) if isinstance(query, str) else query
     if free_order is None:
         order_token = "<default>"
@@ -76,10 +83,11 @@ def index_fingerprint(
             v if isinstance(v, str) else v.name for v in free_order
         )
     config = config or EngineConfig()
+    digest = graph_digest_hint if graph_digest_hint is not None else graph_digest(graph)
     blob = "\n".join(
         [
             f"format={FORMAT_VERSION}",
-            f"graph={graph_digest(graph)}",
+            f"graph={digest}",
             f"query={phi!r}",
             f"order={order_token}",
             f"method={method}",

@@ -40,6 +40,7 @@ from typing import Any
 
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.engine import QueryIndex, build_index
+from repro.errors import ReproError
 from repro.graphs.colored_graph import ColoredGraph
 from repro.logic.syntax import Formula, Var
 from repro.metrics.runtime import count as _metrics_count
@@ -54,7 +55,7 @@ MAGIC = "repro-index-snapshot"
 SNAPSHOT_SUFFIX = ".rpx"
 
 
-class SnapshotError(Exception):
+class SnapshotError(ReproError):
     """A snapshot could not be served; the caller should rebuild."""
 
 

@@ -25,9 +25,13 @@ import sys
 from collections import defaultdict
 from pathlib import Path
 
+from repro.errors import ReproError
 
-class ReportError(Exception):
+
+class ReportError(ReproError):
     """A benchmark results file could not be read or parsed."""
+
+    exit_code = 2
 
 #: bench file stem -> (experiment id, the claim the series checks)
 EXPERIMENTS = {

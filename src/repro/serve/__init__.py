@@ -1,0 +1,61 @@
+"""A long-lived query service with a shared index cache (``repro serve``).
+
+The paper's contract — pseudo-linear preprocessing once, then
+constant-time ``test`` / ``next_solution`` forever (Theorem 2.3,
+Corollaries 2.4-2.5) — is the shape of a server, not a batch job.  This
+package is that server:
+
+* :mod:`repro.serve.cache` — an LRU of built
+  :class:`~repro.core.engine.QueryIndex` objects keyed by the persist
+  fingerprint, backed by ``.rpx`` snapshots for cold starts, with
+  per-key build deduplication (N concurrent misses, one build);
+* :mod:`repro.serve.service` — transport-agnostic JSON request
+  handlers (``test`` / ``next`` / ``enumerate`` / ``count`` /
+  ``explain``) with typed 4xx errors;
+* :mod:`repro.serve.http` — the stdlib ``ThreadingHTTPServer`` skin
+  plus ``/metrics`` and ``/healthz``;
+* :mod:`repro.serve.client` — a stdlib urllib client.
+
+Start it with ``python -m repro serve`` (see ``docs/serving.md``) or
+embed it::
+
+    from repro.serve import QueryService, create_server
+
+    server = create_server(QueryService(snapshot_dir=".repro-cache"), port=8321)
+    server.serve_forever()
+"""
+
+from repro.serve.cache import BuildWaitTimeout, IndexCache, TooManyBuilds
+from repro.serve.client import (
+    ServiceClient,
+    ServiceClientError,
+    family_spec,
+    inline_spec,
+    path_spec,
+)
+from repro.serve.http import create_server, wait_until_ready
+from repro.serve.service import (
+    BadRequest,
+    GraphStore,
+    QueryService,
+    ServeError,
+    ServiceUnavailable,
+)
+
+__all__ = [
+    "BadRequest",
+    "BuildWaitTimeout",
+    "GraphStore",
+    "IndexCache",
+    "QueryService",
+    "ServeError",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceUnavailable",
+    "TooManyBuilds",
+    "create_server",
+    "family_spec",
+    "inline_spec",
+    "path_spec",
+    "wait_until_ready",
+]

@@ -1,0 +1,194 @@
+"""A small stdlib client for the ``repro serve`` HTTP API.
+
+::
+
+    from repro.serve.client import ServiceClient, family_spec
+
+    client = ServiceClient("http://127.0.0.1:8321")
+    spec = family_spec("grid", 400, seed=7)        # or path_spec / inline_spec
+    client.test(spec, "E(x, y)", (0, 1))           # -> bool
+    client.next_solution(spec, "E(x, y)", (10, 0)) # -> tuple | None
+    for sol in client.enumerate(spec, "E(x, y)"):  # paginates transparently
+        ...
+
+Failures raise :class:`ServiceClientError` with the server's status code
+and decoded error payload — a connection refusal, a 4xx input error and
+a 503 overload are all the same exception type, distinguished by
+``status`` (0 for transport-level failures).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterator, Sequence
+from typing import Any
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from repro.errors import ReproError
+from repro.graphs.colored_graph import ColoredGraph
+from repro.graphs.io import dumps_edge_list
+
+
+class ServiceClientError(ReproError):
+    """The server rejected the request or could not be reached."""
+
+    def __init__(self, message: str, status: int = 0, payload: Any = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload
+
+
+def path_spec(path: str) -> dict[str, Any]:
+    """Ask the server to load a graph file under its ``--graph-root``."""
+    return {"graph_path": path}
+
+
+def inline_spec(graph: ColoredGraph) -> dict[str, Any]:
+    """Ship a local graph inline as canonical edge-list text."""
+    return {"edge_list": dumps_edge_list(graph)}
+
+
+def family_spec(family: str, n: int, seed: int = 0) -> dict[str, Any]:
+    """Ask the server to generate a graph family member."""
+    return {"family": family, "n": n, "seed": seed}
+
+
+class ServiceClient:
+    """Typed wrappers over the JSON endpoints (one instance per server)."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: index metadata from the most recent graph+query call —
+        #: {"status": "hit"|"built"|..., "method", "arity", "fingerprint"}.
+        self.last_index_meta: dict[str, Any] | None = None
+
+    # ------------------------------------------------------------------
+
+    def test(
+        self,
+        graph: dict[str, Any],
+        query: str,
+        values: Sequence[int],
+        method: str = "auto",
+    ) -> bool:
+        """Corollary 2.4: is ``values`` a solution?"""
+        reply = self._post(
+            "/v1/test",
+            {**graph, "query": query, "tuple": list(values), "method": method},
+        )
+        return bool(reply["value"])
+
+    def next_solution(
+        self,
+        graph: dict[str, Any],
+        query: str,
+        start: Sequence[int],
+        method: str = "auto",
+    ) -> tuple[int, ...] | None:
+        """Theorem 2.3: smallest solution ``>= start``."""
+        reply = self._post(
+            "/v1/next",
+            {**graph, "query": query, "tuple": list(start), "method": method},
+        )
+        found = reply["solution"]
+        return None if found is None else tuple(found)
+
+    def enumerate_page(
+        self,
+        graph: dict[str, Any],
+        query: str,
+        cursor: Sequence[int] | None = None,
+        limit: int | None = None,
+        method: str = "auto",
+    ) -> tuple[list[tuple[int, ...]], tuple[int, ...] | None]:
+        """One page: ``(items, next_cursor)``; resume by passing the cursor."""
+        payload: dict[str, Any] = {**graph, "query": query, "method": method}
+        if cursor is not None:
+            payload["cursor"] = list(cursor)
+        if limit is not None:
+            payload["limit"] = limit
+        reply = self._post("/v1/enumerate", payload)
+        items = [tuple(item) for item in reply["items"]]
+        next_cursor = reply["next_cursor"]
+        return items, (None if next_cursor is None else tuple(next_cursor))
+
+    def enumerate(
+        self,
+        graph: dict[str, Any],
+        query: str,
+        start: Sequence[int] | None = None,
+        page_size: int | None = None,
+        method: str = "auto",
+    ) -> Iterator[tuple[int, ...]]:
+        """All solutions ``>= start``, fetching pages transparently."""
+        cursor = None if start is None else tuple(start)
+        while True:
+            items, cursor = self.enumerate_page(
+                graph, query, cursor=cursor, limit=page_size, method=method
+            )
+            yield from items
+            if cursor is None:
+                return
+
+    def count(self, graph: dict[str, Any], query: str, method: str = "auto") -> int:
+        """|phi(G)|."""
+        reply = self._post("/v1/count", {**graph, "query": query, "method": method})
+        return int(reply["count"])
+
+    def explain(self, query: str) -> dict[str, Any]:
+        """Fragment diagnosis for ``query`` (no graph involved)."""
+        return self._post("/v1/explain", {"query": query})
+
+    def metrics(self) -> dict[str, Any]:
+        """The ``/metrics`` dump (registry snapshot + cache stats)."""
+        return self._get("/metrics")
+
+    def stats(self) -> dict[str, Any]:
+        """The ``/v1/stats`` dump (knobs + cache occupancy)."""
+        return self._get("/v1/stats")
+
+    def health(self) -> bool:
+        """True when the server answers ``/healthz``."""
+        try:
+            return bool(self._get("/healthz").get("ok"))
+        except ServiceClientError:
+            return False
+
+    # ------------------------------------------------------------------
+
+    def _post(self, route: str, payload: dict[str, Any]) -> dict[str, Any]:
+        body = json.dumps(payload).encode("utf-8")
+        request = Request(
+            self.base_url + route,
+            data=body,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        reply = self._send(request)
+        meta = reply.get("index")
+        if isinstance(meta, dict):
+            self.last_index_meta = meta
+        return reply
+
+    def _get(self, route: str) -> dict[str, Any]:
+        return self._send(Request(self.base_url + route, method="GET"))
+
+    def _send(self, request: Request) -> dict[str, Any]:
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+                message = payload.get("error", {}).get("message", str(exc))
+            except (ValueError, AttributeError):
+                payload, message = None, str(exc)
+            raise ServiceClientError(
+                f"HTTP {exc.code}: {message}", status=exc.code, payload=payload
+            ) from None
+        except URLError as exc:
+            raise ServiceClientError(
+                f"could not reach {self.base_url}: {exc.reason}"
+            ) from None

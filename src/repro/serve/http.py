@@ -1,0 +1,185 @@
+"""The stdlib HTTP skin over :class:`~repro.serve.service.QueryService`.
+
+``ThreadingHTTPServer`` gives one thread per connection; every thread
+shares one :class:`QueryService` (hence one index cache and one graph
+store), which is exactly the concurrency shape the cache was built for.
+No dependencies beyond the standard library.
+
+Routes (all JSON)::
+
+    POST /v1/test       {graph spec, "query", "tuple"}       -> {"value": bool}
+    POST /v1/next       {graph spec, "query", "tuple"}       -> {"solution": [...]|null}
+    POST /v1/enumerate  {graph spec, "query", "cursor"?, "limit"?}
+                                                 -> {"items": [...], "next_cursor"}
+    POST /v1/count      {graph spec, "query"}                -> {"count": int}
+    POST /v1/explain    {"query"}                            -> {"decomposable": ...}
+    GET  /metrics       registry dump + cache stats
+    GET  /v1/stats      knobs + cache occupancy
+    GET  /healthz       liveness
+
+Every response is ``{"ok": true, ...}`` or
+``{"ok": false, "error": {"type", "message"}}`` with a matching status
+code; input problems are 400/503, never 500s with tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro import __version__
+from repro.errors import ReproError
+from repro.serve.service import QueryService, ServeError
+
+logger = logging.getLogger("repro.serve")
+
+#: Reject request bodies larger than this (a graph belongs in a file or a
+#: generator family, not a megabyte of inline JSON — tune via create_server).
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_POST_ROUTES = {
+    "/v1/test": "handle_test",
+    "/v1/next": "handle_next",
+    "/v1/enumerate": "handle_enumerate",
+    "/v1/count": "handle_count",
+    "/v1/explain": "handle_explain",
+}
+
+
+class RequestHandler(BaseHTTPRequestHandler):
+    """One request; the class attributes are filled in by create_server."""
+
+    service: QueryService
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    server_version = f"repro-serve/{__version__}"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = urlsplit(self.path).path
+        if path == "/metrics":
+            self._reply(200, self.service.metrics_snapshot())
+        elif path == "/v1/stats":
+            self._reply(200, self.service.stats())
+        elif path in ("/", "/healthz"):
+            self._reply(200, {"ok": True, "service": "repro-serve"})
+        else:
+            self._error(404, "not_found", f"no such route: GET {path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        path = urlsplit(self.path).path
+        handler_name = _POST_ROUTES.get(path)
+        if handler_name is None:
+            self._error(404, "not_found", f"no such route: POST {path}")
+            return
+        try:
+            payload = self._read_json()
+        except ServeError as exc:
+            self._error(exc.http_status, type(exc).__name__, str(exc))
+            return
+        try:
+            result = getattr(self.service, handler_name)(payload)
+        except ServeError as exc:
+            self._error(exc.http_status, type(exc).__name__, str(exc))
+        except ReproError as exc:
+            # any other library-level input error is still the client's fault
+            self._error(400, type(exc).__name__, str(exc))
+        except Exception:
+            logger.exception("internal error handling %s", path)
+            self._error(500, "internal_error", "internal server error")
+        else:
+            self._reply(200, {"ok": True, **result})
+
+    # ------------------------------------------------------------------
+
+    def _read_json(self) -> dict[str, Any]:
+        from repro.serve.service import BadRequest
+
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            raise BadRequest("missing or invalid Content-Length header") from None
+        if length > self.max_body_bytes:
+            raise BadRequest(
+                f"request body of {length} bytes exceeds the "
+                f"{self.max_body_bytes}-byte cap"
+            )
+        body = self.rfile.read(length)
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    def _reply(self, status: int, payload: dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # client went away
+            self.close_connection = True
+
+    def _error(self, status: int, error_type: str, message: str) -> None:
+        self._reply(
+            status,
+            {"ok": False, "error": {"type": error_type, "message": message}},
+        )
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+
+def create_server(
+    service: QueryService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    request_timeout: float = 30.0,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> ThreadingHTTPServer:
+    """A ready-to-run threading server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port — read it back from
+    ``server.server_address``.  ``request_timeout`` bounds how long a
+    connection thread blocks reading a request (slow-loris protection);
+    it does not interrupt an index build (bound those with the service's
+    ``build_wait_seconds`` / ``max_in_flight_builds`` knobs instead).
+    """
+    handler = type(
+        "BoundRequestHandler",
+        (RequestHandler,),
+        {
+            "service": service,
+            "timeout": request_timeout,
+            "max_body_bytes": max_body_bytes,
+        },
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server
+
+
+def wait_until_ready(
+    host: str, port: int, deadline_seconds: float = 10.0
+) -> bool:
+    """Poll until the server accepts TCP connections (for scripts/tests)."""
+    import time
+
+    deadline = time.monotonic() + deadline_seconds
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=0.5):
+                return True
+        except OSError:
+            time.sleep(0.05)
+    return False

@@ -24,9 +24,9 @@ def test_generate_and_info(tmp_path, capsys):
     assert "density exponent" in captured
 
 
-def test_generate_unknown_family(tmp_path):
-    with pytest.raises(SystemExit):
-        main(["generate", "clique", "10", "-o", str(tmp_path / "x.txt")])
+def test_generate_unknown_family(tmp_path, capsys):
+    assert main(["generate", "clique", "10", "-o", str(tmp_path / "x.txt")]) == 2
+    assert "unknown family" in capsys.readouterr().err
 
 
 def test_info_on_edge_list(graph_file, capsys):
@@ -61,9 +61,41 @@ def test_query_command(graph_file, capsys):
     assert "next(0, 0):" in out
 
 
-def test_query_rejects_bad_tuple(graph_file):
-    with pytest.raises(SystemExit):
-        main(["query", graph_file, "E(x, y)", "--test", "zero,one"])
+def test_query_rejects_bad_tuple(graph_file, capsys):
+    assert main(["query", graph_file, "E(x, y)", "--test", "zero,one"]) == 2
+    assert "comma-separated tuple" in capsys.readouterr().err
+
+
+def test_query_rejects_empty_tuple(graph_file, capsys):
+    assert main(["query", graph_file, "E(x, y)", "--test", ""]) == 2
+    assert "comma-separated tuple" in capsys.readouterr().err
+
+
+def test_query_rejects_tuple_with_empty_part(graph_file, capsys):
+    assert main(["query", graph_file, "E(x, y)", "--test", "1,,2"]) == 2
+    assert "comma-separated tuple" in capsys.readouterr().err
+
+
+def test_query_tuple_tolerates_spaces(graph_file, capsys):
+    assert main(["query", graph_file, "E(x, y)", "--test", "0, 1"]) == 0
+    assert "test(0, 1):" in capsys.readouterr().out
+
+
+def test_query_enumerate_rejects_nonpositive_limit(graph_file, capsys):
+    assert main(["query", graph_file, "E(x, y)", "--enumerate", "0"]) == 2
+    assert "--enumerate must be >= 1" in capsys.readouterr().err
+    assert main(["query", graph_file, "E(x, y)", "--enumerate", "-3"]) == 2
+    assert "--enumerate must be >= 1" in capsys.readouterr().err
+
+
+def test_query_bad_query_text_exits_2(graph_file, capsys):
+    assert main(["query", graph_file, "E(x,"]) == 2
+    assert "repro query:" in capsys.readouterr().err
+
+
+def test_query_missing_graph_file_exits_2(capsys):
+    assert main(["query", "/no/such/graph.txt", "E(x, y)"]) == 2
+    assert "cannot read" in capsys.readouterr().err
 
 
 def test_bench_command(graph_file, capsys):
@@ -78,8 +110,7 @@ def test_query_on_json_database_rejected(tmp_path):
     db = Database(Schema({"R": 1}), domain_size=2)
     path = tmp_path / "db.json"
     write_json(db, path)
-    with pytest.raises(SystemExit):
-        main(["info", str(path)])
+    assert main(["info", str(path)]) == 2
 
 
 def test_query_stats_flag(graph_file, capsys):
@@ -200,6 +231,22 @@ def test_query_workers_flag(graph_file, capsys):
     assert "count: 78" in capsys.readouterr().out
 
 
-def test_query_workers_invalid(graph_file):
-    with pytest.raises(SystemExit):
-        main(["query", graph_file, "E(x, y)", "--workers", "0"])
+def test_query_workers_invalid(graph_file, capsys):
+    assert main(["query", graph_file, "E(x, y)", "--workers", "0"]) == 2
+    assert "--workers must be >= 1" in capsys.readouterr().err
+
+
+def test_serve_parser_wires_the_command():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["serve", "--port", "0", "--max-builds", "2"])
+    assert args.command == "serve"
+    assert args.port == 0 and args.max_builds == 2
+    assert callable(args.func)
+
+
+def test_serve_rejects_bad_knobs(capsys):
+    assert main(["serve", "--port", "0", "--max-page-size", "0"]) == 2
+    assert "--max-page-size" in capsys.readouterr().err
+    assert main(["serve", "--port", "0", "--cache-entries", "0"]) == 2
+    assert "--cache-entries" in capsys.readouterr().err

@@ -1,0 +1,73 @@
+"""The unified exception hierarchy (``repro.errors``)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.errors as errors
+from repro.errors import GraphFormatError, ReproError, UsageError
+
+
+def test_every_alias_resolves_and_derives_from_repro_error():
+    for name in errors.__all__:
+        cls = getattr(errors, name)
+        assert isinstance(cls, type), name
+        assert issubclass(cls, ReproError), name
+
+
+def test_unknown_name_raises_attribute_error():
+    with pytest.raises(AttributeError, match="NoSuchError"):
+        errors.NoSuchError  # noqa: B018
+
+
+def test_dir_lists_aliases():
+    listing = dir(errors)
+    assert "ParseError" in listing and "BadRequest" in listing
+
+
+def test_aliases_are_the_defining_classes():
+    from repro.core.normal_form import DecompositionError
+    from repro.logic.parser import ParseError
+    from repro.persist.snapshot import SnapshotError
+    from repro.serve.service import BadRequest
+
+    assert errors.ParseError is ParseError
+    assert errors.DecompositionError is DecompositionError
+    assert errors.SnapshotError is SnapshotError
+    assert errors.BadRequest is BadRequest
+
+
+def test_historical_value_error_bases_survive():
+    """Pre-hierarchy ``except ValueError:`` call sites keep working."""
+    assert issubclass(errors.ParseError, ValueError)
+    assert issubclass(errors.DecompositionError, ValueError)
+    assert issubclass(GraphFormatError, ValueError)
+
+
+def test_exit_codes():
+    assert ReproError.exit_code == 1
+    assert UsageError.exit_code == 2
+    assert GraphFormatError.exit_code == 2
+    assert errors.ParseError.exit_code == 2
+    assert errors.BadRequest.exit_code == 2
+    assert errors.SnapshotError.exit_code == 1
+
+
+def test_parse_error_is_catchable_as_repro_error():
+    from repro.logic.parser import parse_formula
+
+    with pytest.raises(ReproError):
+        parse_formula("E(x,")
+
+
+def test_graph_io_raises_graph_format_error():
+    from repro.graphs.io import loads_edge_list
+
+    with pytest.raises(GraphFormatError, match="line 2"):
+        loads_edge_list("n 3\ne 0 banana\n")
+
+
+def test_top_level_export():
+    import repro
+
+    assert repro.ReproError is ReproError
