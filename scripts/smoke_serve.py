@@ -10,7 +10,9 @@ then drives every endpoint through the stdlib client and asserts:
 * 8 concurrent clients all agree with a single-threaded oracle and the
   simultaneous cold miss triggers exactly one build;
 * ``/metrics`` exposes ``engine.*`` counters and the enumeration delay
-  histogram;
+  histogram, and negotiates Prometheus text exposition;
+* an ``X-Trace-Id`` request is recorded and its span tree (request root
+  down to the ``enumerate.step`` spans) comes back from ``/v1/traces``;
 * malformed requests come back as clean 400s, never 500s;
 * the server shuts down cleanly on SIGINT.
 
@@ -19,6 +21,7 @@ Run from the repo root: ``python scripts/smoke_serve.py``.
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import signal
@@ -26,6 +29,7 @@ import subprocess
 import sys
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+from urllib.request import Request, urlopen
 
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
@@ -146,6 +150,64 @@ def main() -> int:
             delays is not None and delays["count"] >= len(solutions),
             "enumeration delay histogram exposed",
         )
+
+        # --- request tracing: X-Trace-Id round trip + /v1/traces ------
+        trace_id = "cafef00dcafef00d"
+        request = Request(
+            url + "/v1/enumerate",
+            data=json.dumps({**SPEC, "query": QUERY, "limit": 3}).encode(),
+            headers={
+                "Content-Type": "application/json",
+                "X-Trace-Id": trace_id,
+            },
+        )
+        with urlopen(request, timeout=60) as response:
+            check(
+                response.headers.get("X-Trace-Id") == trace_id,
+                "X-Trace-Id echoed on the response",
+            )
+            check(json.load(response)["ok"] is True, "traced request answers")
+        with urlopen(url + f"/v1/traces?trace_id={trace_id}", timeout=60) as response:
+            recorded = json.load(response)["trace"]
+        check(recorded["trace_id"] == trace_id, "/v1/traces returns the trace")
+        roots = recorded["tree"]
+        child_names = {child["name"] for child in roots[0]["children"]}
+        check(
+            len(roots) == 1
+            and roots[0]["name"] == "POST /v1/enumerate"
+            and "cache.get" in child_names
+            and "enumerate.step" in child_names,
+            "span tree covers cache lookup and enumeration steps",
+        )
+        with urlopen(url + "/v1/traces", timeout=60) as response:
+            listing = json.load(response)
+        check(
+            any(t["trace_id"] == trace_id for t in listing["traces"]),
+            "/v1/traces lists the recorded trace",
+        )
+
+        # --- Prometheus text exposition -------------------------------
+        with urlopen(url + "/metrics?format=prom", timeout=60) as response:
+            check(
+                response.headers.get("Content-Type", "").startswith(
+                    "text/plain; version=0.0.4"
+                ),
+                "Prometheus /metrics content type",
+            )
+            prom = response.read().decode()
+        check(
+            "# TYPE repro_engine_test_total counter" in prom
+            and "repro_serve_cache_entries" in prom,
+            "Prometheus exposition carries counters and cache gauges",
+        )
+        for line in prom.splitlines():
+            if line and not line.startswith("#"):
+                name, _, value = line.partition(" ")
+                check_ok = bool(re.match(r"^[a-zA-Z_][a-zA-Z0-9_]*(\{.*\})?$", name))
+                if not check_ok:
+                    check(False, f"Prometheus sample name parses: {line!r}")
+                float(value)  # every sample value is numeric
+        check(True, "every Prometheus sample line parses")
 
         # --- malformed input: clean 4xx, never a 500 ------------------
         for what, call in [

@@ -10,8 +10,15 @@ Commands
 ``info FILE``
     Print a graph's vital statistics (size, density exponent, degeneracy).
 
-``explain QUERY``
-    Diagnose whether a query is in the indexable fragment and why.
+``explain QUERY [--graph FILE]``
+    Diagnose whether a query is in the indexable fragment and why; with
+    ``--graph`` also build the index for real and report where the
+    preprocessing time went, stage by stage.
+
+``trace GRAPH QUERY [--enumerate N] [--count] [-o FILE] [--format F]``
+    Run preprocessing plus the requested operations under span tracing
+    (see :mod:`repro.trace`), print the span tree and per-stage totals,
+    and optionally write a Chrome trace-event file or JSONL spans.
 
 ``query FILE QUERY [--enumerate N] [--count] [--test a,b] [--next a,b]
 [--cache DIR] [--workers N]``
@@ -127,7 +134,75 @@ def _cmd_info(args) -> int:
 def _cmd_explain(args) -> int:
     report = explain(args.query)
     print(report.render())
+    if args.graph is not None and report.decomposable:
+        # enrichment: build the index for real under tracing and show
+        # where the preprocessing time actually goes, stage by stage
+        from repro import trace
+
+        graph = _load_graph(args.graph)
+        with trace.tracing("explain", query=args.query) as tracer:
+            index = build_index(graph, args.query, method="indexed")
+        print()
+        print(
+            f"built against {args.graph} (n={graph.n}): "
+            f"preprocessing={index.preprocessing_seconds * 1000:.1f} ms"
+        )
+        print(trace.render_stage_totals(tracer.spans))
     return 0 if report.decomposable else 1
+
+
+def _cmd_trace(args) -> int:
+    if args.enumerate is not None and args.enumerate < 1:
+        raise UsageError(f"--enumerate must be >= 1, got {args.enumerate}")
+    from repro import metrics, trace
+
+    graph = _load_graph(args.graph)
+    config = _engine_config(args)
+    # ops=True so enumerate.step spans carry per-step operation counts
+    with metrics.collect(ops=True):
+        with trace.tracing(
+            "repro trace", graph=args.graph, query=args.query
+        ) as tracer:
+            index = build_index(
+                graph, args.query, method=args.method, config=config
+            )
+            if args.test is not None:
+                values = _parse_tuple(args.test)
+                print(f"test{values}: {index.test(values)}")
+            if args.next is not None:
+                values = _parse_tuple(args.next)
+                print(f"next{values}: {index.next_solution(values)}")
+            if args.count:
+                print(f"count: {index.count()}")
+            if args.enumerate:
+                taken = 0
+                for _solution in index.enumerate():
+                    taken += 1
+                    if taken >= args.enumerate:
+                        break
+                print(f"enumerated {taken} solutions")
+    print(trace.render_tree(tracer))
+    print(trace.render_stage_totals(tracer.spans))
+    if args.output is not None:
+        out = Path(args.output)
+        if args.format == "tree":
+            out.write_text(
+                trace.render_tree(tracer)
+                + "\n"
+                + trace.render_stage_totals(tracer.spans)
+                + "\n"
+            )
+            kind = "span tree"
+        elif args.format == "jsonl" or (
+            args.format == "auto" and out.suffix == ".jsonl"
+        ):
+            trace.write_jsonl(tracer, out)
+            kind = "JSONL spans"
+        else:
+            trace.write_chrome_trace(tracer, out)
+            kind = "Chrome trace-event file (load via chrome://tracing)"
+        print(f"wrote {kind}: {out} ({len(tracer.spans)} spans)")
+    return 0
 
 
 def _engine_config(args):
@@ -259,6 +334,25 @@ def _cmd_serve(args) -> int:
         raise UsageError(f"--cache-entries must be >= 1, got {args.cache_entries}")
     if args.max_builds < 1:
         raise UsageError(f"--max-builds must be >= 1, got {args.max_builds}")
+    if not 0.0 <= args.trace_sample <= 1.0:
+        raise UsageError(
+            f"--trace-sample must be in [0, 1], got {args.trace_sample}"
+        )
+    if args.trace_buffer < 0:
+        raise UsageError(f"--trace-buffer must be >= 0, got {args.trace_buffer}")
+    if args.watchdog_multiple < 0:
+        raise UsageError(
+            f"--watchdog-multiple must be >= 0, got {args.watchdog_multiple}"
+        )
+    from repro.trace.logging import configure as configure_logging
+    from repro.trace.watchdog import Watchdog
+
+    # every serve log line is one JSON object (trace ids included) so
+    # aggregators can follow a request across the slow-log and watchdog
+    configure_logging()
+    watchdog = None
+    if args.watchdog_multiple > 0:
+        watchdog = Watchdog(multiple=args.watchdog_multiple)
     service = QueryService(
         cache_entries=args.cache_entries,
         snapshot_dir=args.snapshot_dir,
@@ -273,14 +367,19 @@ def _cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         request_timeout=args.request_timeout,
+        trace_capacity=args.trace_buffer,
+        trace_sample=args.trace_sample,
+        slow_ms=args.slow_ms,
+        watchdog=watchdog,
     )
     host, port = server.server_address[:2]
     print(f"repro serve: listening on http://{host}:{port}", flush=True)
     try:
         # a live registry for the server's lifetime makes /metrics real:
         # engine.* counters, enumeration delay histograms, serve.* cache
-        # counters (ops=False keeps contracted calls unpatched and fast)
-        with metrics.collect(ops=False):
+        # counters (ops=False keeps contracted calls unpatched and fast;
+        # bounded histograms keep a long-lived server's memory flat)
+        with metrics.collect(ops=False, histogram_samples=8192):
             server.serve_forever()
     except KeyboardInterrupt:
         print("repro serve: shutting down", file=sys.stderr)
@@ -328,7 +427,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain_cmd = commands.add_parser("explain", help="diagnose a query")
     explain_cmd.add_argument("query")
+    explain_cmd.add_argument("--graph", metavar="FILE", default=None,
+                             help="also build against this graph and show "
+                                  "per-stage preprocessing timings")
     explain_cmd.set_defaults(func=_cmd_explain)
+
+    trace_cmd = commands.add_parser(
+        "trace", help="run a build + query under span tracing"
+    )
+    trace_cmd.add_argument("graph")
+    trace_cmd.add_argument("query")
+    trace_cmd.add_argument("--method", default="auto",
+                           choices=["auto", "indexed", "naive"])
+    trace_cmd.add_argument("--count", action="store_true")
+    trace_cmd.add_argument("--test", metavar="a,b")
+    trace_cmd.add_argument("--next", metavar="a,b")
+    trace_cmd.add_argument("--enumerate", type=int, default=None, metavar="N")
+    trace_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                           help="threads for the per-bag preprocessing fan-out")
+    trace_cmd.add_argument("-o", "--output", metavar="FILE", default=None,
+                           help="write the trace to FILE instead of (only) "
+                                "printing the span tree")
+    trace_cmd.add_argument("--format", default="auto",
+                           choices=["auto", "chrome", "jsonl", "tree"],
+                           help="output format; 'auto' picks by -o extension "
+                                "(.jsonl -> jsonl, else Chrome trace-event)")
+    trace_cmd.set_defaults(func=_cmd_trace)
 
     query = commands.add_parser("query", help="index a graph and answer")
     query.add_argument("graph")
@@ -384,6 +508,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="socket read timeout per request")
     serve.add_argument("--workers", type=int, default=1, metavar="N",
                        help="threads for the per-bag preprocessing fan-out")
+    serve.add_argument("--trace-sample", type=float, default=0.0, metavar="P",
+                       help="record a span tree for this fraction of requests "
+                            "(X-Trace-Id requests are always recorded)")
+    serve.add_argument("--trace-buffer", type=int, default=64, metavar="N",
+                       help="recent traces kept for /v1/traces "
+                            "(0 disables request tracing entirely)")
+    serve.add_argument("--slow-ms", type=float, default=None, metavar="MS",
+                       help="log a structured warning for requests slower "
+                            "than MS milliseconds")
+    serve.add_argument("--watchdog-multiple", type=float, default=20.0,
+                       metavar="X",
+                       help="flag enumeration steps slower than X times the "
+                            "calibrated budget (0 disables the watchdog)")
     serve.set_defaults(func=_cmd_serve)
 
     from repro.benchrunner import add_arguments as _bench_suite_arguments

@@ -27,6 +27,7 @@ from repro.metrics.runtime import count as _metrics_count
 from repro.graphs.colored_graph import ColoredGraph
 from repro.graphs.neighborhoods import bounded_bfs
 from repro.splitter.strategies import SplitterStrategy, default_strategy
+from repro.trace.runtime import span as _trace_span
 
 #: Default "naive algorithm" size cutoff (the paper's f_C(r, δ) role).
 DEFAULT_NAIVE_THRESHOLD = 64
@@ -72,15 +73,20 @@ class DistanceIndex:
         self.max_depth = max_depth
         self._depth = _depth
         self._strategy = strategy
-        if (
+        naive = (
             radius == 0
             or graph.n <= self.naive_threshold
             or graph.num_edges == 0
             or _depth >= max_depth
-        ):
-            self._build_naive()
+        )
+        if _depth == 0:
+            # one span for the whole recursive build, not one per child
+            with _trace_span("distance.build", radius=radius, n=graph.n) as sp:
+                self._build_naive() if naive else self._build_recursive()
+                if sp is not None:
+                    sp.attributes["mode"] = self._mode
         else:
-            self._build_recursive()
+            self._build_naive() if naive else self._build_recursive()
 
     # ------------------------------------------------------------------
     # preprocessing

@@ -27,6 +27,7 @@ from repro.logic.transform import free_variables
 from repro.metrics.runtime import count as _metrics_count
 from repro.metrics.runtime import delay_recorder as _delay_recorder
 from repro.metrics.runtime import observe as _metrics_observe
+from repro.trace.runtime import span as _trace_span
 
 
 @dataclass(frozen=True)
@@ -110,7 +111,8 @@ class QueryIndex:
         for v in probe:
             if v < 0 or v >= n:
                 return False
-        return self._impl.test(probe)
+        with _trace_span("engine.test"):
+            return self._impl.test(probe)
 
     @constant_time(note="Theorem 2.3 via the chosen implementation")
     def next_solution(self, start: Sequence[int]) -> tuple[int, ...] | None:
@@ -129,7 +131,8 @@ class QueryIndex:
         clamped = _clamp_start(probe, self.graph.n)
         if clamped is None:
             return None
-        return self._impl.next_solution(clamped)
+        with _trace_span("engine.next_solution"):
+            return self._impl.next_solution(clamped)
 
     @delay("O(1)", note="Corollary 2.5; naive fallback materializes upfront")
     def enumerate(
@@ -176,7 +179,10 @@ class QueryIndex:
         tick = time.perf_counter() if record is not None else 0.0
         items: list[tuple[int, ...]] = []
         while len(items) < limit:
-            found = self.next_solution(cursor)
+            # each answer's computation is one "enumerate.step" span — the
+            # unit the guarantee watchdog holds to the constant-delay budget
+            with _trace_span("enumerate.step"):
+                found = self.next_solution(cursor)
             if found is None:
                 return Page(items, None)
             if record is not None:
@@ -304,18 +310,21 @@ def build_index(
     if method not in ("auto", "indexed", "naive"):
         raise ValueError(f"unknown method {method!r}")
     start = time.perf_counter()
-    if method == "naive":
-        impl: object = NaiveIndex(graph, phi, order)
-        chosen = "naive"
-    else:
-        try:
-            impl = NextSolutionIndex(graph, phi, order, config)
-            chosen = "indexed"
-        except DecompositionError:
-            if method == "indexed":
-                raise
-            impl = NaiveIndex(graph, phi, order)
+    with _trace_span("engine.build_index", method=method, arity=len(order)) as sp:
+        if method == "naive":
+            impl: object = NaiveIndex(graph, phi, order)
             chosen = "naive"
+        else:
+            try:
+                impl = NextSolutionIndex(graph, phi, order, config)
+                chosen = "indexed"
+            except DecompositionError:
+                if method == "indexed":
+                    raise
+                impl = NaiveIndex(graph, phi, order)
+                chosen = "naive"
+        if sp is not None:
+            sp.attributes["chosen"] = chosen
     elapsed = time.perf_counter() - start
     _metrics_observe("engine.preprocessing_seconds", elapsed)
     return QueryIndex(graph, phi, order, chosen, elapsed, impl)

@@ -46,6 +46,7 @@ from repro.core.unary import model_check
 from repro.covers.kernels import kernel_of_bag
 from repro.covers.neighborhood_cover import build_cover
 from repro.graphs.colored_graph import ColoredGraph
+from repro.trace.runtime import span as _trace_span
 from repro.logic.syntax import (
     ColorAtom,
     DistAtom,
@@ -82,31 +83,33 @@ class LastCoordinateIndex:
         self.decomp = decomposition or decompose(phi, self.free_order)
         self.r = self.decomp.radius
         # Step 2: distance oracle at the type scale
-        self.dist = DistanceIndex(
-            graph,
-            self.r,
-            eps=config.eps,
-            naive_threshold=config.dist_naive_threshold,
-            max_depth=config.dist_max_depth,
-        )
+        with _trace_span("last.distance_index", radius=self.r):
+            self.dist = DistanceIndex(
+                graph,
+                self.r,
+                eps=config.eps,
+                naive_threshold=config.dist_naive_threshold,
+                max_depth=config.dist_max_depth,
+            )
         # Step 3: (kr, 2kr)-cover and r-kernels
         self.cover = build_cover(
             graph, self.k * self.r, eps=config.eps, workers=config.workers
         )
-        if config.workers > 1 and len(self.cover.bags) > 1:
-            from concurrent.futures import ThreadPoolExecutor
+        with _trace_span("last.kernels", bags=len(self.cover.bags), radius=self.r):
+            if config.workers > 1 and len(self.cover.bags) > 1:
+                from concurrent.futures import ThreadPoolExecutor
 
-            with ThreadPoolExecutor(max_workers=config.workers) as pool:
-                self.kernels = list(
-                    pool.map(
-                        lambda bag: kernel_of_bag(graph, bag, self.r),
-                        self.cover.bags,
+                with ThreadPoolExecutor(max_workers=config.workers) as pool:
+                    self.kernels = list(
+                        pool.map(
+                            lambda bag: kernel_of_bag(graph, bag, self.r),
+                            self.cover.bags,
+                        )
                     )
-                )
-        else:
-            self.kernels = [
-                kernel_of_bag(graph, bag, self.r) for bag in self.cover.bags
-            ]
+            else:
+                self.kernels = [
+                    kernel_of_bag(graph, bag, self.r) for bag in self.cover.bags
+                ]
         self._solvers: dict[int, tuple[BagSolver, dict[int, int], list[int]]] = {}
         self._sentence_cache: dict[Formula, bool] = {}
         self._bag_query_cache: dict[tuple, tuple[Formula, tuple[Var, ...]]] = {}
@@ -115,12 +118,13 @@ class LastCoordinateIndex:
         # Steps 12-13: Case-I structures per distinct singleton-local psi
         self._far_structures_cache: dict[Formula, tuple[list[int], SkipPointers]] = {}
         if config.precompute_far:
-            last = self.k - 1
-            for tau, alternatives in self.decomp.per_type.items():
-                if tau.component_of(last) != frozenset((last,)):
-                    continue
-                for alt in alternatives:
-                    self._far_structures(alt.local_for(frozenset((last,))))
+            with _trace_span("last.far_structures"):
+                last = self.k - 1
+                for tau, alternatives in self.decomp.per_type.items():
+                    if tau.component_of(last) != frozenset((last,)):
+                        continue
+                    for alt in alternatives:
+                        self._far_structures(alt.local_for(frozenset((last,))))
 
     # ------------------------------------------------------------------
     # lazy per-bag machinery
@@ -135,16 +139,19 @@ class LastCoordinateIndex:
 
     @pseudo_linear(note="Steps 8-11 for one bag")
     def _build_solver(self, bag_id: int) -> tuple[BagSolver, dict[int, int], list[int]]:
-        sub, original = self.graph.relabeled_subgraph(self.cover.bags[bag_id])
-        to_new = {v: i for i, v in enumerate(original)}
-        sub.set_color(KERNEL_COLOR, [to_new[v] for v in self.kernels[bag_id]])
-        solver = BagSolver(
-            sub,
-            max_bound=self.r,
-            naive_threshold=self.config.bag_naive_threshold,
-            max_depth=self.config.bag_max_depth,
-        )
-        return (solver, to_new, original)
+        with _trace_span(
+            "last.bag_solver", bag=bag_id, size=len(self.cover.bags[bag_id])
+        ):
+            sub, original = self.graph.relabeled_subgraph(self.cover.bags[bag_id])
+            to_new = {v: i for i, v in enumerate(original)}
+            sub.set_color(KERNEL_COLOR, [to_new[v] for v in self.kernels[bag_id]])
+            solver = BagSolver(
+                sub,
+                max_bound=self.r,
+                naive_threshold=self.config.bag_naive_threshold,
+                max_depth=self.config.bag_max_depth,
+            )
+            return (solver, to_new, original)
 
     @pseudo_linear(note="independent Steps 8-11 per bag, fanned out on threads")
     def _prebuild_solvers(self, workers: int) -> None:

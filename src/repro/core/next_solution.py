@@ -28,6 +28,7 @@ from repro.core.unary import UnaryIndex, model_check
 from repro.graphs.colored_graph import ColoredGraph
 from repro.metrics.runtime import count as _metrics_count
 from repro.logic.syntax import Exists, Formula, Var
+from repro.trace.runtime import span as _trace_span
 
 
 @constant_time(note="one pass over k digits, k fixed")
@@ -147,43 +148,49 @@ class NextSolutionIndex:
         self._holds: bool | None = None
         self._unary: UnaryIndex | None = None
         self.last: LastCoordinateIndex | None = None
-        if self.k == 0:
-            self._holds = model_check(graph, phi, eps=config.eps)
-            return
-        if self.k == 1:
-            self._unary = UnaryIndex(graph, phi, self.free_order[0], eps=config.eps)
-            return
-        self.last = LastCoordinateIndex(
-            graph, phi, self.free_order, config, decomposition=decomposition
-        )
-        if self.k == 2:
-            # exact: n constant-time oracle calls enumerate the projection
-            solutions = [
-                a
-                for a in graph.vertices()
-                if self.last.first_last((a,), 0) is not None
-            ]
-            self._prefix = UnaryIndex(
-                graph,
-                Exists(self.free_order[-1], phi),
-                self.free_order[0],
-                eps=config.eps,
-                solutions=solutions,
-            )
-        elif decomposition is not None:
-            # a synthetic (relaxed) decomposition has no formula to project:
-            # relax again and filter by this level's oracle
-            self._prefix = RelaxedPrefixIndex(graph, self.last, config)
-        else:
-            try:
-                self._prefix = NextSolutionIndex(
-                    graph, Exists(self.free_order[-1], phi), self.free_order[:-1], config
+        with _trace_span("next_solution.build", k=self.k):
+            if self.k == 0:
+                self._holds = model_check(graph, phi, eps=config.eps)
+                return
+            if self.k == 1:
+                self._unary = UnaryIndex(
+                    graph, phi, self.free_order[0], eps=config.eps
                 )
-            except DecompositionError:
+                return
+            self.last = LastCoordinateIndex(
+                graph, phi, self.free_order, config, decomposition=decomposition
+            )
+            if self.k == 2:
+                # exact: n constant-time oracle calls enumerate the projection
+                solutions = [
+                    a
+                    for a in graph.vertices()
+                    if self.last.first_last((a,), 0) is not None
+                ]
+                self._prefix = UnaryIndex(
+                    graph,
+                    Exists(self.free_order[-1], phi),
+                    self.free_order[0],
+                    eps=config.eps,
+                    solutions=solutions,
+                )
+            elif decomposition is not None:
+                # a synthetic (relaxed) decomposition has no formula to project:
+                # relax again and filter by this level's oracle
+                self._prefix = RelaxedPrefixIndex(graph, self.last, config)
+            else:
                 try:
-                    self._prefix = RelaxedPrefixIndex(graph, self.last, config)
-                except (DecompositionError, ValueError):
-                    self._prefix = PrefixScan(self.last, graph.n, self.k - 1)
+                    self._prefix = NextSolutionIndex(
+                        graph,
+                        Exists(self.free_order[-1], phi),
+                        self.free_order[:-1],
+                        config,
+                    )
+                except DecompositionError:
+                    try:
+                        self._prefix = RelaxedPrefixIndex(graph, self.last, config)
+                    except (DecompositionError, ValueError):
+                        self._prefix = PrefixScan(self.last, graph.n, self.k - 1)
 
     # ------------------------------------------------------------------
     @property

@@ -26,6 +26,7 @@ from collections.abc import Collection, Sequence
 
 from repro.contracts import constant_time, pseudo_linear
 from repro.storage.function_store import StoredFunction
+from repro.trace.runtime import span as _trace_span
 
 #: Marker stored for "no such element" (must be distinct from any vertex).
 _NULL = "null"
@@ -82,7 +83,8 @@ class SkipPointers:
         self._sentinel = self.num_bags  # one past the largest bag id
         universe = max(n, self._sentinel + 1)
         self._store = StoredFunction(universe, k + 1, eps=eps)
-        self._precompute()
+        with _trace_span("skip_pointers.build", n=n, bags=self.num_bags):
+            self._precompute()
 
     # ------------------------------------------------------------------
     # preprocessing (Claim 5.10): b from largest to smallest

@@ -16,6 +16,7 @@ from collections.abc import Collection
 
 from repro.contracts import pseudo_linear
 from repro.graphs.colored_graph import ColoredGraph
+from repro.trace.runtime import span as _trace_span
 
 
 @pseudo_linear(note="Lemma 5.7: O(p * ||G[X]||) multi-source BFS")
@@ -28,23 +29,27 @@ def kernel_of_bag(graph: ColoredGraph, bag: Collection[int], p: int) -> set[int]
     """
     if p < 0:
         raise ValueError(f"kernel radius must be non-negative, got {p}")
-    members = set(bag)
-    if p == 0:
-        return members
-    # distance-to-outside, computed inside G[X]; boundary members start at 1
-    dist: dict[int, int] = {}
-    queue: deque[int] = deque()
-    for v in members:
-        if any(w not in members for w in graph.neighbors(v)):
-            dist[v] = 1
-            queue.append(v)
-    while queue:
-        u = queue.popleft()
-        du = dist[u]
-        if du == p:
-            continue
-        for w in graph.neighbors(u):
-            if w in members and w not in dist:
-                dist[w] = du + 1
-                queue.append(w)
-    return {v for v in members if dist.get(v, p + 1) > p}
+    with _trace_span("kernel.compute", p=p, bag_size=len(bag)) as sp:
+        members = set(bag)
+        if p == 0:
+            return members
+        # distance-to-outside, computed inside G[X]; boundary members start at 1
+        dist: dict[int, int] = {}
+        queue: deque[int] = deque()
+        for v in members:
+            if any(w not in members for w in graph.neighbors(v)):
+                dist[v] = 1
+                queue.append(v)
+        while queue:
+            u = queue.popleft()
+            du = dist[u]
+            if du == p:
+                continue
+            for w in graph.neighbors(u):
+                if w in members and w not in dist:
+                    dist[w] = du + 1
+                    queue.append(w)
+        kernel = {v for v in members if dist.get(v, p + 1) > p}
+        if sp is not None:
+            sp.attributes["size"] = len(kernel)
+        return kernel

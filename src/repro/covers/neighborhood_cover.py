@@ -34,6 +34,7 @@ from repro.graphs.neighborhoods import bounded_bfs
 from repro.graphs.sparsity import degeneracy_order
 from repro.metrics.runtime import count as _metrics_count
 from repro.storage.function_store import StoredFunction
+from repro.trace.runtime import span as _trace_span
 
 
 class NeighborhoodCover:
@@ -289,18 +290,23 @@ def build_cover(
         raise ValueError(f"radius must be non-negative, got {radius}")
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
-    n = graph.n
-    if order is None:
-        order = degeneracy_order(graph)
-    else:
-        order = _validated_order(graph, order)
-    assignment = [-1] * n
-    bags: list[list[int]] = []
-    centers: list[int] = []
-    if workers > 1:
-        _scan_parallel(graph, radius, order, assignment, bags, centers, workers)
-    else:
-        _scan_sequential(graph, radius, order, assignment, bags, centers)
-    _metrics_count("cover.builds")
-    _metrics_count("cover.bags", len(bags))
-    return NeighborhoodCover(graph, radius, 2 * radius, bags, centers, assignment, eps)
+    with _trace_span("cover.build", radius=radius, n=graph.n, workers=workers) as sp:
+        n = graph.n
+        if order is None:
+            order = degeneracy_order(graph)
+        else:
+            order = _validated_order(graph, order)
+        assignment = [-1] * n
+        bags: list[list[int]] = []
+        centers: list[int] = []
+        if workers > 1:
+            _scan_parallel(graph, radius, order, assignment, bags, centers, workers)
+        else:
+            _scan_sequential(graph, radius, order, assignment, bags, centers)
+        _metrics_count("cover.builds")
+        _metrics_count("cover.bags", len(bags))
+        if sp is not None:
+            sp.attributes["bags"] = len(bags)
+        return NeighborhoodCover(
+            graph, radius, 2 * radius, bags, centers, assignment, eps
+        )

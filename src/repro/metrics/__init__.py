@@ -29,6 +29,7 @@ E1–E14 measurement series on top of this package.
 """
 
 from repro.metrics.core import Counter, Histogram, MetricsRegistry, Timer
+from repro.metrics.prometheus import flatten_gauges, render_prometheus
 from repro.metrics.runtime import (
     active,
     collect,
@@ -47,6 +48,8 @@ __all__ = [
     "collect",
     "count",
     "delay_recorder",
+    "flatten_gauges",
     "observe",
+    "render_prometheus",
     "time_block",
 ]

@@ -14,6 +14,7 @@ inside one.
 from __future__ import annotations
 
 import math
+import random
 import threading
 import time
 from typing import Any
@@ -86,35 +87,87 @@ class Histogram:
     Records raw samples (typically per-answer delays in seconds) and
     answers percentile queries afterwards.  Recording is an O(1) append;
     percentile queries sort on demand and cache until the next record.
+
+    Two storage modes:
+
+    * **exact** (``max_samples=None``, the default) keeps every sample —
+      what the bench suite wants, where a run is finite and percentiles
+      must be exact;
+    * **reservoir** (``max_samples=N``) keeps a uniform random sample of
+      size ``N`` (Vitter's algorithm R, deterministic per-histogram
+      seed), which bounds memory in a long-lived ``repro serve`` process
+      while keeping percentiles statistically faithful.  ``count``,
+      ``total``, ``mean`` and ``max`` stay *exact* in both modes — they
+      are tracked as running aggregates, not derived from the stored
+      samples.
     """
 
-    __slots__ = ("name", "_samples", "_sorted")
+    __slots__ = (
+        "name",
+        "max_samples",
+        "_samples",
+        "_sorted",
+        "_count",
+        "_total",
+        "_max",
+        "_rng",
+    )
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, max_samples: int | None = None) -> None:
+        if max_samples is not None and max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
         self.name = name
+        self.max_samples = max_samples
         self._samples: list[float] = []
         self._sorted: list[float] | None = None
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._rng: random.Random | None = (
+            None if max_samples is None else random.Random(hash(name) & 0xFFFFFFFF)
+        )
 
     def record(self, value: float) -> None:
-        """Add one sample (O(1) amortized)."""
-        self._samples.append(value)
+        """Add one sample (O(1) amortized; O(1) memory in reservoir mode)."""
+        self._count += 1
+        self._total += value
+        if value > self._max:
+            self._max = value
+        if self.max_samples is None or len(self._samples) < self.max_samples:
+            self._samples.append(value)
+        else:
+            # Vitter's algorithm R: keep each of the _count samples with
+            # equal probability max_samples / _count
+            slot = self._rng.randrange(self._count)
+            if slot < self.max_samples:
+                self._samples[slot] = value
+            else:
+                return  # stored set unchanged: keep the sorted cache
         self._sorted = None
 
     @property
     def count(self) -> int:
+        """Exact number of recorded samples (both modes)."""
+        return self._count
+
+    @property
+    def stored(self) -> int:
+        """Samples currently held (``<= max_samples`` in reservoir mode)."""
         return len(self._samples)
 
     @property
     def total(self) -> float:
-        return sum(self._samples)
+        """Exact running sum (both modes)."""
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self._samples) if self._samples else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return max(self._samples) if self._samples else 0.0
+        """Exact running maximum (both modes)."""
+        return self._max
 
     def percentile(self, q: float) -> float:
         """The ``q``-th percentile (0 <= q <= 100), nearest-rank on sorted data."""
@@ -157,9 +210,14 @@ class MetricsRegistry:
     pre-register anything.  ``op_counts`` is filled by the contracts
     instrumentation hook (calls per contracted function) when the
     registry was activated with ``ops=True``.
+
+    ``histogram_samples`` bounds every histogram the registry creates
+    (reservoir mode — see :class:`Histogram`); the default ``None``
+    keeps the exact-mode behaviour the bench suite relies on.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, histogram_samples: int | None = None) -> None:
+        self.histogram_samples = histogram_samples
         self.counters: dict[str, Counter] = {}
         self.timers: dict[str, Timer] = {}
         self.histograms: dict[str, Histogram] = {}
@@ -190,7 +248,9 @@ class MetricsRegistry:
         found = self.histograms.get(name)
         if found is None:
             with self._create_lock:
-                found = self.histograms.setdefault(name, Histogram(name))
+                found = self.histograms.setdefault(
+                    name, Histogram(name, max_samples=self.histogram_samples)
+                )
         return found
 
     def snapshot(self) -> dict[str, Any]:

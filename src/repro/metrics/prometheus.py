@@ -1,0 +1,127 @@
+"""Prometheus text exposition (format 0.0.4) for the metrics registry.
+
+``repro serve`` exposes ``GET /metrics`` as JSON by default; this module
+renders the same registry snapshot in the Prometheus text format so a
+standard scraper can poll the server directly (``Accept: text/plain`` or
+``?format=prom`` selects it).  Mapping:
+
+* counters  -> ``repro_<name>_total`` (TYPE counter)
+* timers    -> ``repro_<name>_seconds_total`` + ``repro_<name>_laps_total``
+* histograms-> ``repro_<name>`` summary (quantile 0.5/0.95 labels) with
+  ``_count`` and ``_sum`` series
+* op_counts -> ``repro_contract_calls_total{function="..."}``
+* extra gauges (cache sizes etc.) -> ``repro_<name>`` (TYPE gauge)
+
+No client library is involved — the format is plain text and the
+snapshot is already a dict of floats.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.metrics.core import MetricsRegistry
+
+#: Content type a compliant scraper expects.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    """Mangle a dotted repro metric name into a valid Prometheus name."""
+    base = _INVALID.sub("_", name).strip("_")
+    if base and base[0].isdigit():
+        base = "_" + base
+    return f"repro_{base}{suffix}"
+
+
+def _label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value (integers without trailing .0)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(
+    registry: MetricsRegistry | None,
+    gauges: dict[str, float] | None = None,
+) -> str:
+    """The registry (and optional extra gauges) in text exposition format.
+
+    ``registry`` may be ``None`` (server running without ``collect()``);
+    the gauges are still emitted so the endpoint never 404s mid-scrape.
+    """
+    lines: list[str] = []
+
+    if registry is not None:
+        for name, counter in sorted(registry.counters.items()):
+            metric = _metric_name(name, "_total")
+            lines.append(f"# HELP {metric} repro counter {name}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_fmt(counter.value)}")
+
+        for name, timer in sorted(registry.timers.items()):
+            seconds = _metric_name(name, "_seconds_total")
+            lines.append(f"# HELP {seconds} repro timer {name} accumulated seconds")
+            lines.append(f"# TYPE {seconds} counter")
+            lines.append(f"{seconds} {_fmt(timer.total)}")
+            laps = _metric_name(name, "_laps_total")
+            lines.append(f"# HELP {laps} repro timer {name} lap count")
+            lines.append(f"# TYPE {laps} counter")
+            lines.append(f"{laps} {_fmt(timer.laps)}")
+
+        for name, histogram in sorted(registry.histograms.items()):
+            metric = _metric_name(name)
+            lines.append(f"# HELP {metric} repro histogram {name}")
+            lines.append(f"# TYPE {metric} summary")
+            lines.append(f'{metric}{{quantile="0.5"}} {_fmt(histogram.p50)}')
+            lines.append(f'{metric}{{quantile="0.95"}} {_fmt(histogram.p95)}')
+            lines.append(f"{metric}_count {_fmt(histogram.count)}")
+            lines.append(f"{metric}_sum {_fmt(histogram.total)}")
+
+        if registry.op_counts:
+            metric = "repro_contract_calls_total"
+            lines.append(
+                f"# HELP {metric} calls per contracted function (instrument())"
+            )
+            lines.append(f"# TYPE {metric} counter")
+            for function, calls in sorted(registry.op_counts.items()):
+                lines.append(
+                    f'{metric}{{function="{_label_value(function)}"}} {_fmt(calls)}'
+                )
+
+    for name, value in sorted((gauges or {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def flatten_gauges(payload: dict[str, Any], prefix: str = "") -> dict[str, float]:
+    """Flatten a nested stats dict into dotted-name numeric gauges.
+
+    Non-numeric leaves are dropped (strings, None); bools become 0/1.
+    Used to turn ``/v1/stats``-style payloads (cache sizes, watchdog
+    state) into Prometheus gauges without a schema.
+    """
+    flat: dict[str, float] = {}
+    for key, value in payload.items():
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten_gauges(value, name))
+        elif isinstance(value, bool):
+            flat[name] = 1.0 if value else 0.0
+        elif isinstance(value, (int, float)):
+            flat[name] = float(value)
+    return flat

@@ -30,6 +30,7 @@ from repro.metrics.core import MetricsRegistry
 _ACTIVE: MetricsRegistry | None = None
 
 
+@constant_time(note="one module-global read")
 def active() -> MetricsRegistry | None:
     """The registry currently collecting, or None outside :func:`collect`."""
     return _ACTIVE
@@ -76,7 +77,9 @@ def time_block(name: str) -> Iterator[None]:
 
 
 @contextmanager
-def collect(ops: bool = True) -> Iterator[MetricsRegistry]:
+def collect(
+    ops: bool = True, histogram_samples: int | None = None
+) -> Iterator[MetricsRegistry]:
     """Collect metrics from everything that runs inside the context.
 
     Parameters
@@ -87,12 +90,17 @@ def collect(ops: bool = True) -> Iterator[MetricsRegistry]:
         function names to call counts.  Patching costs one extra Python
         call per contracted call, so measurement runs that only need the
         explicit counters/histograms can pass ``ops=False``.
+    histogram_samples:
+        Bound every histogram to a reservoir of this many samples
+        (exact running count/total/mean/max either way).  ``None``
+        (default) keeps every sample — right for finite bench runs,
+        wrong for a long-lived server.
 
     Contexts nest: the innermost registry receives the hooks, and the
     previous one is restored on exit.
     """
     global _ACTIVE
-    registry = MetricsRegistry()
+    registry = MetricsRegistry(histogram_samples=histogram_samples)
     previous = _ACTIVE
     _ACTIVE = registry
     try:

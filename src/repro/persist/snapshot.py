@@ -46,6 +46,7 @@ from repro.logic.syntax import Formula, Var
 from repro.metrics.runtime import count as _metrics_count
 from repro.metrics.runtime import observe as _metrics_observe
 from repro.persist.fingerprint import FORMAT_VERSION, index_fingerprint
+from repro.trace.runtime import span as _trace_span
 
 logger = logging.getLogger("repro.persist")
 
@@ -85,28 +86,31 @@ def save_index(
     """
     path = Path(path)
     tick = time.perf_counter()
-    payload = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
-    header = {
-        "magic": MAGIC,
-        "format_version": FORMAT_VERSION,
-        "fingerprint": fingerprint,
-        "payload_sha256": hashlib.sha256(payload).hexdigest(),
-        "payload_bytes": len(payload),
-        "method": index.method,
-        "arity": index.arity,
-        "free_order": [v.name for v in index.free_order],
-        "preprocessing_seconds": index.preprocessing_seconds,
-        "graph_n": index.graph.n,
-    }
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
-    try:
-        with open(tmp, "wb") as handle:
-            handle.write(json.dumps(header, sort_keys=True).encode() + b"\n")
-            handle.write(payload)
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
+    with _trace_span("persist.save") as sp:
+        payload = pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL)
+        if sp is not None:
+            sp.attributes["bytes"] = len(payload)
+        header = {
+            "magic": MAGIC,
+            "format_version": FORMAT_VERSION,
+            "fingerprint": fingerprint,
+            "payload_sha256": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+            "method": index.method,
+            "arity": index.arity,
+            "free_order": [v.name for v in index.free_order],
+            "preprocessing_seconds": index.preprocessing_seconds,
+            "graph_n": index.graph.n,
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(json.dumps(header, sort_keys=True).encode() + b"\n")
+                handle.write(payload)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
     _metrics_count("persist.saves")
     _metrics_observe("persist.save_seconds", time.perf_counter() - tick)
     return header
@@ -144,32 +148,37 @@ def load_index(
     """
     path = Path(path)
     tick = time.perf_counter()
-    header = read_header(path)
-    with open(path, "rb") as handle:
-        handle.readline()
-        payload = handle.read()
-    digest = hashlib.sha256(payload).hexdigest()
-    if digest != header.get("payload_sha256"):
-        raise SnapshotCorrupted(
-            f"{path}: payload checksum mismatch (file truncated or edited)"
-        )
-    if (
-        expected_fingerprint is not None
-        and header.get("fingerprint") != expected_fingerprint
-    ):
-        raise SnapshotStale(
-            f"{path}: fingerprint {str(header.get('fingerprint'))[:12]}... does "
-            f"not match the requested (graph, query, order, config) "
-            f"{expected_fingerprint[:12]}..."
-        )
-    try:
-        index = pickle.loads(payload)
-    except Exception as exc:  # pickle raises a zoo of types on bad bytes
-        raise SnapshotCorrupted(f"{path}: payload does not unpickle: {exc}") from None
-    if not isinstance(index, QueryIndex):
-        raise SnapshotCorrupted(
-            f"{path}: payload is a {type(index).__name__}, not a QueryIndex"
-        )
+    with _trace_span("persist.load") as sp:
+        header = read_header(path)
+        with open(path, "rb") as handle:
+            handle.readline()
+            payload = handle.read()
+        if sp is not None:
+            sp.attributes["bytes"] = len(payload)
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header.get("payload_sha256"):
+            raise SnapshotCorrupted(
+                f"{path}: payload checksum mismatch (file truncated or edited)"
+            )
+        if (
+            expected_fingerprint is not None
+            and header.get("fingerprint") != expected_fingerprint
+        ):
+            raise SnapshotStale(
+                f"{path}: fingerprint {str(header.get('fingerprint'))[:12]}... does "
+                f"not match the requested (graph, query, order, config) "
+                f"{expected_fingerprint[:12]}..."
+            )
+        try:
+            index = pickle.loads(payload)
+        except Exception as exc:  # pickle raises a zoo of types on bad bytes
+            raise SnapshotCorrupted(
+                f"{path}: payload does not unpickle: {exc}"
+            ) from None
+        if not isinstance(index, QueryIndex):
+            raise SnapshotCorrupted(
+                f"{path}: payload is a {type(index).__name__}, not a QueryIndex"
+            )
     _metrics_count("persist.loads")
     _metrics_observe("persist.load_seconds", time.perf_counter() - tick)
     return index
@@ -208,20 +217,25 @@ def load_or_build(
     fingerprint = index_fingerprint(graph, query, free_order, config, method)
     path = cache_path(cache_dir, fingerprint)
     status = "miss"
-    if path.exists():
+    with _trace_span("persist.load_or_build") as sp:
+        if path.exists():
+            try:
+                index = load_index(path, expected_fingerprint=fingerprint)
+                _metrics_count("persist.cache_hits")
+                if sp is not None:
+                    sp.attributes["status"] = "hit"
+                return index, "hit"
+            except SnapshotError as exc:
+                logger.warning("snapshot rejected, rebuilding: %s", exc)
+                status = "rebuilt"
+        _metrics_count("persist.cache_misses")
+        index = build_index(graph, query, free_order, method=method, config=config)
         try:
-            index = load_index(path, expected_fingerprint=fingerprint)
-            _metrics_count("persist.cache_hits")
-            return index, "hit"
-        except SnapshotError as exc:
-            logger.warning("snapshot rejected, rebuilding: %s", exc)
-            status = "rebuilt"
-    _metrics_count("persist.cache_misses")
-    index = build_index(graph, query, free_order, method=method, config=config)
-    try:
-        save_index(index, path, fingerprint)
-    except OSError as exc:  # a read-only cache degrades to cold builds
-        logger.warning("could not write snapshot %s: %s", path, exc)
+            save_index(index, path, fingerprint)
+        except OSError as exc:  # a read-only cache degrades to cold builds
+            logger.warning("could not write snapshot %s: %s", path, exc)
+        if sp is not None:
+            sp.attributes["status"] = status
     return index, status
 
 

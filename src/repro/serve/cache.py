@@ -50,6 +50,7 @@ from repro.persist import (
     load_index,
     save_index,
 )
+from repro.trace.runtime import span as _trace_span
 
 logger = logging.getLogger("repro.serve")
 
@@ -162,6 +163,20 @@ class IndexCache:
         :class:`TooManyBuilds`.
         """
         key = self.fingerprint(graph, query, free_order, method, graph_digest_hint)
+        with _trace_span("cache.get", fingerprint=key[:12]) as sp:
+            index, status = self._get(key, graph, query, free_order, method)
+            if sp is not None:
+                sp.attributes["status"] = status
+            return index, status
+
+    def _get(
+        self,
+        key: str,
+        graph: ColoredGraph,
+        query: Formula | str,
+        free_order: Sequence[Var | str] | None,
+        method: str,
+    ) -> tuple[QueryIndex, str]:
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:

@@ -5,7 +5,7 @@ shares one :class:`QueryService` (hence one index cache and one graph
 store), which is exactly the concurrency shape the cache was built for.
 No dependencies beyond the standard library.
 
-Routes (all JSON)::
+Routes (all JSON unless negotiated otherwise)::
 
     POST /v1/test       {graph spec, "query", "tuple"}       -> {"value": bool}
     POST /v1/next       {graph spec, "query", "tuple"}       -> {"solution": [...]|null}
@@ -13,29 +13,56 @@ Routes (all JSON)::
                                                  -> {"items": [...], "next_cursor"}
     POST /v1/count      {graph spec, "query"}                -> {"count": int}
     POST /v1/explain    {"query"}                            -> {"decomposable": ...}
-    GET  /metrics       registry dump + cache stats
-    GET  /v1/stats      knobs + cache occupancy
+    GET  /metrics       registry dump + cache stats (JSON), or Prometheus
+                        text exposition via ``Accept: text/plain`` /
+                        ``?format=prom``
+    GET  /v1/traces     recent request traces; ``?trace_id=`` for one tree
+    GET  /v1/stats      knobs + cache occupancy (+ watchdog state)
     GET  /healthz       liveness
 
 Every response is ``{"ok": true, ...}`` or
 ``{"ok": false, "error": {"type", "message"}}`` with a matching status
 code; input problems are 400/503, never 500s with tracebacks.
+
+**Request tracing.** Every request is assigned a trace id — a valid
+inbound ``X-Trace-Id`` header is honored, otherwise one is generated —
+and the id is returned on the response.  Span *recording* happens when
+the client sent ``X-Trace-Id`` explicitly (an opt-in) or the request won
+the ``trace_sample`` coin flip; recorded traces land in the server's
+:class:`~repro.trace.buffer.TraceBuffer`, readable at ``/v1/traces``.
+A :class:`~repro.trace.watchdog.Watchdog`, when configured, consumes the
+recorded enumeration-step spans live.
 """
 
 from __future__ import annotations
 
 import json
 import logging
-import socket
+import random
+import re
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+import socket
 from typing import Any
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__
 from repro.errors import ReproError
+from repro.metrics.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.metrics.prometheus import flatten_gauges, render_prometheus
+from repro.metrics.runtime import active as _metrics_active
 from repro.serve.service import QueryService, ServeError
+from repro.trace.buffer import DEFAULT_CAPACITY, TraceBuffer
+from repro.trace.core import new_trace_id
+from repro.trace.logging import log_event
+from repro.trace.runtime import annotate as _trace_annotate
+from repro.trace.runtime import tracing
+from repro.trace.watchdog import Watchdog
 
 logger = logging.getLogger("repro.serve")
+
+#: Accepted inbound ``X-Trace-Id`` values (hex, 8-64 chars).
+_TRACE_ID_RE = re.compile(r"^[0-9a-fA-F]{8,64}$")
 
 #: Reject request bodies larger than this (a graph belongs in a file or a
 #: generator family, not a megabyte of inline JSON — tune via create_server).
@@ -55,21 +82,87 @@ class RequestHandler(BaseHTTPRequestHandler):
 
     service: QueryService
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    trace_buffer: TraceBuffer | None = None
+    trace_sample: float = 0.0
+    slow_ms: float | None = None
+    watchdog: Watchdog | None = None
     server_version = f"repro-serve/{__version__}"
     protocol_version = "HTTP/1.1"
+
+    #: Per-request trace id, set in do_POST and echoed by _reply.
+    _trace_id: str | None = None
 
     # ------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
         path = urlsplit(self.path).path
         if path == "/metrics":
-            self._reply(200, self.service.metrics_snapshot())
+            self._get_metrics()
+        elif path == "/v1/traces":
+            self._get_traces()
         elif path == "/v1/stats":
-            self._reply(200, self.service.stats())
+            payload = self.service.stats()
+            if self.watchdog is not None:
+                payload["watchdog"] = self.watchdog.snapshot()
+            self._reply(200, payload)
         elif path in ("/", "/healthz"):
             self._reply(200, {"ok": True, "service": "repro-serve"})
         else:
             self._error(404, "not_found", f"no such route: GET {path}")
+
+    def _get_metrics(self) -> None:
+        """``/metrics``: JSON by default, Prometheus text when negotiated."""
+        query = parse_qs(urlsplit(self.path).query)
+        accept = self.headers.get("Accept", "")
+        wants_prom = query.get("format", [""])[0] == "prom" or (
+            "text/plain" in accept and "application/json" not in accept
+        )
+        if not wants_prom:
+            self._reply(200, self.service.metrics_snapshot())
+            return
+        gauges = {"serve.cache": self.service.cache.snapshot_stats()}
+        if self.watchdog is not None:
+            gauges["watchdog"] = self.watchdog.snapshot()
+        if self.trace_buffer is not None:
+            gauges["trace.buffered"] = len(self.trace_buffer)
+        body = render_prometheus(_metrics_active(), flatten_gauges(gauges))
+        self._reply_text(200, body, _PROM_CONTENT_TYPE)
+
+    def _get_traces(self) -> None:
+        """``/v1/traces``: recent summaries, or one full tree by trace id."""
+        if self.trace_buffer is None:
+            self._error(
+                404, "tracing_disabled", "serve started without request tracing"
+            )
+            return
+        query = parse_qs(urlsplit(self.path).query)
+        trace_id = query.get("trace_id", [None])[0]
+        if trace_id:
+            payload = self.trace_buffer.get(trace_id.lower())
+            if payload is None:
+                self._error(
+                    404,
+                    "not_found",
+                    f"no recorded trace {trace_id!r} (buffer keeps the last "
+                    f"{self.trace_buffer.capacity})",
+                )
+            else:
+                self._reply(200, {"ok": True, "trace": payload})
+            return
+        try:
+            limit = int(query.get("limit", ["20"])[0])
+        except ValueError:
+            self._error(400, "BadRequest", "'limit' must be an integer")
+            return
+        self._reply(
+            200,
+            {
+                "ok": True,
+                "sample_rate": self.trace_sample,
+                "capacity": self.trace_buffer.capacity,
+                "traces": self.trace_buffer.recent(max(1, limit)),
+            },
+        )
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         path = urlsplit(self.path).path
@@ -77,23 +170,80 @@ class RequestHandler(BaseHTTPRequestHandler):
         if handler_name is None:
             self._error(404, "not_found", f"no such route: POST {path}")
             return
+        inbound = self.headers.get("X-Trace-Id")
+        if inbound is not None and _TRACE_ID_RE.match(inbound):
+            self._trace_id = inbound.lower()
+        else:
+            self._trace_id = new_trace_id()
+            inbound = None
+        # record spans when the client opted in (explicit X-Trace-Id) or the
+        # request won the sampling coin flip; otherwise the span hooks stay
+        # no-ops and the request costs exactly what it did before tracing
+        recording = self.trace_buffer is not None and (
+            inbound is not None
+            or (self.trace_sample > 0 and random.random() < self.trace_sample)
+        )
+        started = time.perf_counter()
+        if recording:
+            observers = (
+                () if self.watchdog is None else (self.watchdog.on_span,)
+            )
+            with tracing(
+                f"POST {path}",
+                trace_id=self._trace_id,
+                observers=observers,
+                endpoint=path,
+            ) as tracer:
+                info = self._dispatch(path, handler_name)
+                index_meta = info.get("index") or {}
+                # the current span here is the request's root span
+                _trace_annotate(
+                    http_status=info.get("status"),
+                    cache=index_meta.get("status"),
+                    fingerprint=index_meta.get("fingerprint"),
+                )
+            self.trace_buffer.add(tracer)
+        else:
+            info = self._dispatch(path, handler_name)
+        elapsed_ms = (time.perf_counter() - started) * 1000
+        if self.slow_ms is not None and elapsed_ms > self.slow_ms:
+            index_meta = info.get("index") or {}
+            log_event(
+                logger,
+                "slow request",
+                level=logging.WARNING,
+                endpoint=path,
+                ms=round(elapsed_ms, 3),
+                slow_ms=self.slow_ms,
+                trace_id=self._trace_id,
+                traced=recording,
+                status=info.get("status"),
+                fingerprint=index_meta.get("fingerprint"),
+                cache=index_meta.get("status"),
+            )
+
+    def _dispatch(self, path: str, handler_name: str) -> dict[str, Any]:
+        """Run one POST handler and send the response; returns outcome info."""
         try:
             payload = self._read_json()
         except ServeError as exc:
             self._error(exc.http_status, type(exc).__name__, str(exc))
-            return
+            return {"status": exc.http_status}
         try:
             result = getattr(self.service, handler_name)(payload)
         except ServeError as exc:
             self._error(exc.http_status, type(exc).__name__, str(exc))
+            return {"status": exc.http_status}
         except ReproError as exc:
             # any other library-level input error is still the client's fault
             self._error(400, type(exc).__name__, str(exc))
+            return {"status": 400}
         except Exception:
             logger.exception("internal error handling %s", path)
             self._error(500, "internal_error", "internal server error")
-        else:
-            self._reply(200, {"ok": True, **result})
+            return {"status": 500}
+        self._reply(200, {"ok": True, **result})
+        return {"status": 200, "index": result.get("index")}
 
     # ------------------------------------------------------------------
 
@@ -121,9 +271,17 @@ class RequestHandler(BaseHTTPRequestHandler):
 
     def _reply(self, status: int, payload: dict[str, Any]) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send(status, body, "application/json")
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        self._send(status, text.encode("utf-8"), content_type)
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id is not None:
+            self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
         try:
             self.wfile.write(body)
@@ -146,6 +304,11 @@ def create_server(
     port: int = 0,
     request_timeout: float = 30.0,
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    trace_buffer: TraceBuffer | None = None,
+    trace_capacity: int | None = None,
+    trace_sample: float = 0.0,
+    slow_ms: float | None = None,
+    watchdog: Watchdog | None = None,
 ) -> ThreadingHTTPServer:
     """A ready-to-run threading server bound to ``host:port``.
 
@@ -154,7 +317,19 @@ def create_server(
     connection thread blocks reading a request (slow-loris protection);
     it does not interrupt an index build (bound those with the service's
     ``build_wait_seconds`` / ``max_in_flight_builds`` knobs instead).
+
+    ``trace_buffer`` retains recorded request traces for ``/v1/traces``;
+    when omitted, a fresh :class:`TraceBuffer` holding ``trace_capacity``
+    traces is created (``trace_capacity=0`` disables request tracing
+    entirely).  ``trace_sample`` is the probability an *unsolicited*
+    request is recorded — requests carrying an ``X-Trace-Id`` header are
+    always recorded.  ``slow_ms`` turns on the structured slow-request
+    log.  ``watchdog`` consumes recorded enumeration-step spans live.
     """
+    if not 0.0 <= trace_sample <= 1.0:
+        raise ValueError(f"trace_sample must be in [0, 1], got {trace_sample}")
+    if trace_buffer is None and trace_capacity != 0:
+        trace_buffer = TraceBuffer(trace_capacity or DEFAULT_CAPACITY)
     handler = type(
         "BoundRequestHandler",
         (RequestHandler,),
@@ -162,6 +337,10 @@ def create_server(
             "service": service,
             "timeout": request_timeout,
             "max_body_bytes": max_body_bytes,
+            "trace_buffer": trace_buffer,
+            "trace_sample": trace_sample,
+            "slow_ms": slow_ms,
+            "watchdog": watchdog,
         },
     )
     server = ThreadingHTTPServer((host, port), handler)

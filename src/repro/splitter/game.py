@@ -18,6 +18,7 @@ from collections.abc import Collection
 
 from repro.graphs.colored_graph import ColoredGraph
 from repro.splitter.strategies import SplitterStrategy, default_strategy
+from repro.trace.runtime import span as _trace_span
 
 
 class SplitterGame:
@@ -97,16 +98,22 @@ def play_game(
     game = SplitterGame(graph, radius)
     rng = random.Random(seed)
     limit = max_rounds if max_rounds is not None else graph.n + 1
-    while not game.over and game.rounds_played < limit:
-        if connector == "adversarial":
-            c = _adversarial_connector(game, rng, samples)
-        elif connector == "random":
-            c = rng.choice(sorted(game.arena))
-        else:
-            raise ValueError(f"unknown connector policy {connector!r}")
-        ball = game.ball(c)
-        s = strategy.choose(game.graph, game.arena, ball, c, radius)
-        game.play_round(c, s)
+    with _trace_span(
+        "splitter.play_game", radius=radius, connector=connector, n=graph.n
+    ) as sp:
+        while not game.over and game.rounds_played < limit:
+            if connector == "adversarial":
+                c = _adversarial_connector(game, rng, samples)
+            elif connector == "random":
+                c = rng.choice(sorted(game.arena))
+            else:
+                raise ValueError(f"unknown connector policy {connector!r}")
+            ball = game.ball(c)
+            with _trace_span("splitter.move", round=game.rounds_played):
+                s = strategy.choose(game.graph, game.arena, ball, c, radius)
+            game.play_round(c, s)
+        if sp is not None:
+            sp.attributes["rounds"] = game.rounds_played
     return game.rounds_played
 
 

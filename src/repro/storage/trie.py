@@ -33,6 +33,7 @@ from typing import Any
 from repro.contracts import constant_time, delay
 from repro.metrics.runtime import count as _metrics_count
 from repro.storage.registers import CHILD, GAP, PARENT, RegisterFile
+from repro.trace.runtime import span as _trace_span
 
 #: Lookup outcome tags.
 HIT = "hit"
@@ -70,9 +71,10 @@ class TrieStore:
         while self.d ** self.h < n:  # guard against float rounding in n**eps
             self.h += 1
         self.depth = k * self.h  # number of branching levels
-        self.registers = RegisterFile()
-        self._root = self._new_node(parent_cell=None)
-        self._size = 0
+        with _trace_span("trie.create", n=n, k=k, d=self.d, h=self.h):
+            self.registers = RegisterFile()
+            self._root = self._new_node(parent_cell=None)
+            self._size = 0
 
     # ------------------------------------------------------------------
     # encoding (Algorithm 1, "Decomposition")

@@ -1,0 +1,84 @@
+"""Hierarchical span tracing for the preprocessing and query pipelines.
+
+The paper's claims are per-operation time bounds; :mod:`repro.metrics`
+counts and times them in aggregate, and this package answers the other
+production question — *where did this particular run spend its time* —
+with the same zero-cost-when-off discipline:
+
+* :func:`~repro.trace.runtime.span` — the hook threaded through the
+  pipelines (cover/kernel/trie builds, splitter games, distance index,
+  next-solution tower, persistence, serve request handling).  Outside a
+  :func:`~repro.trace.runtime.tracing` context it is one
+  context-variable read.
+* :mod:`~repro.trace.export` — JSONL, Chrome ``chrome://tracing``
+  trace-event files, ASCII trees, per-stage totals (``repro trace``).
+* :mod:`~repro.trace.logging` — structured JSON logs with
+  trace/span-id correlation.
+* :class:`~repro.trace.watchdog.Watchdog` — the live guarantee checker
+  turning Corollary 2.5's constant delay into a runtime SLO.
+* :class:`~repro.trace.buffer.TraceBuffer` — the ring of recent traces
+  behind ``GET /v1/traces``.
+
+Quick start::
+
+    from repro import trace
+    from repro.core.engine import build_index
+
+    with trace.tracing("experiment") as tracer:
+        index = build_index(graph, "E(x, y)")
+        list(index.enumerate())
+
+    print(trace.render_tree(tracer))
+    trace.write_chrome_trace(tracer, "trace.json")
+"""
+
+from repro.trace.buffer import TraceBuffer
+from repro.trace.core import DEFAULT_MAX_SPANS, Span, Tracer, new_span_id, new_trace_id
+from repro.trace.export import (
+    render_stage_totals,
+    render_tree,
+    stage_totals,
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.trace.logging import JsonFormatter, configure, log_event
+from repro.trace.runtime import (
+    active_tracer,
+    annotate,
+    current_span,
+    current_trace_id,
+    span,
+    tracing,
+)
+from repro.trace.watchdog import DELAY_VIOLATION, OPS_VIOLATION, STEP_SPAN, Watchdog
+
+__all__ = [
+    "DEFAULT_MAX_SPANS",
+    "DELAY_VIOLATION",
+    "JsonFormatter",
+    "OPS_VIOLATION",
+    "STEP_SPAN",
+    "Span",
+    "TraceBuffer",
+    "Tracer",
+    "Watchdog",
+    "active_tracer",
+    "annotate",
+    "configure",
+    "current_span",
+    "current_trace_id",
+    "log_event",
+    "new_span_id",
+    "new_trace_id",
+    "render_stage_totals",
+    "render_tree",
+    "span",
+    "stage_totals",
+    "to_chrome_trace",
+    "to_jsonl",
+    "tracing",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,57 @@
+"""A bounded ring buffer of recently finished traces.
+
+``repro serve`` keeps one :class:`TraceBuffer` and pushes every sampled
+request's tracer into it after the response is sent; ``GET /v1/traces``
+reads it back.  Payloads are serialized to plain dicts at insert time,
+so readers never race a live tracer and evicted traces release their
+spans immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro.trace.core import Tracer
+
+#: Default number of traces retained.
+DEFAULT_CAPACITY = 64
+
+
+class TraceBuffer:
+    """The last ``capacity`` traces, newest first, keyed by trace id."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._traces: OrderedDict[str, dict[str, Any]] = OrderedDict()
+
+    def add(self, tracer: Tracer) -> None:
+        """Serialize and retain one finished trace (evicting the oldest)."""
+        payload = tracer.to_dict()
+        with self._lock:
+            self._traces[tracer.trace_id] = payload
+            self._traces.move_to_end(tracer.trace_id)
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> dict[str, Any] | None:
+        """The full payload (span tree included) for one trace id."""
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def recent(self, limit: int = 20) -> list[dict[str, Any]]:
+        """Summaries of the newest traces, newest first (no span trees)."""
+        with self._lock:
+            payloads = list(self._traces.values())[-limit:]
+        return [
+            {key: value for key, value in payload.items() if key != "tree"}
+            for payload in reversed(payloads)
+        ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)

@@ -1,0 +1,206 @@
+"""Span primitives: the value types behind :mod:`repro.trace`.
+
+A :class:`Span` is one timed operation — a name, monotonic start/end
+stamps, free-form attributes, and the ``trace_id``/``span_id``/
+``parent_id`` triple that links it into a per-request tree.  A
+:class:`Tracer` is one trace's worth of finished spans: a thread-safe
+collector with a hard span cap (long enumerations drop, never grow
+unboundedly) and an observer list through which the guarantee watchdog
+(:mod:`repro.trace.watchdog`) sees every span as it finishes.
+
+Everything here is plain data; the context-variable plumbing that makes
+``span("cover.build")`` a near-zero-cost hook on the hot paths lives in
+:mod:`repro.trace.runtime`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from typing import Any
+
+#: Default cap on spans kept per trace; beyond it spans are counted as
+#: dropped instead of stored (bounds a traced full enumeration).
+DEFAULT_MAX_SPANS = 10_000
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-digit trace id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 16-hex-digit span id."""
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed operation inside a trace.
+
+    ``start``/``end`` are ``time.perf_counter()`` stamps (monotonic,
+    relative to the tracer's ``origin``); ``status`` is ``"ok"`` unless
+    the block raised, and the watchdog may stamp violation markers into
+    ``attributes`` after the span finishes.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start",
+        "end",
+        "attributes",
+        "status",
+        "thread_id",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: str,
+        parent_id: str | None,
+        name: str,
+        start: float,
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.end: float | None = None
+        self.attributes: dict[str, Any] = attributes if attributes else {}
+        self.status = "ok"
+        self.thread_id = threading.get_ident()
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while unfinished)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def to_dict(self, origin: float = 0.0) -> dict[str, Any]:
+        """A JSON-ready view; timings become offsets from ``origin``."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_seconds": self.start - origin,
+            "duration_seconds": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"duration={self.duration * 1000:.3f}ms)"
+        )
+
+
+class Tracer:
+    """One trace: a thread-safe collector of finished spans.
+
+    Parameters
+    ----------
+    name:
+        A human label for the whole trace (e.g. the request path).
+    trace_id:
+        Externally supplied id (an inbound ``X-Trace-Id``) or None for a
+        fresh one.
+    max_spans:
+        Hard cap on stored spans; excess spans are counted in
+        ``dropped`` so truncation is visible, never silent.
+    observers:
+        Callables invoked as ``observer(span)`` for every finished span
+        (the watchdog's hook).  Observer exceptions are swallowed — a
+        broken observer must never take down the traced operation.
+    """
+
+    def __init__(
+        self,
+        name: str = "trace",
+        trace_id: str | None = None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        observers: tuple = (),
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id or new_trace_id()
+        self.max_spans = max_spans
+        self.observers = tuple(observers)
+        self.started_at = time.time()  # wall-clock anchor for exports
+        self.origin = time.perf_counter()
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+
+    def add(self, span: Span) -> None:
+        """Record one finished span (thread-safe) and notify observers."""
+        with self._lock:
+            if len(self._spans) < self.max_spans:
+                self._spans.append(span)
+            else:
+                self.dropped += 1
+        for observer in self.observers:
+            try:
+                observer(span)
+            except Exception:  # noqa: BLE001 - observers must never break tracing
+                pass
+
+    @property
+    def spans(self) -> list[Span]:
+        """A snapshot copy of the finished spans (start order not guaranteed)."""
+        with self._lock:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    # ------------------------------------------------------------------
+    def tree(self) -> list[dict[str, Any]]:
+        """The span forest as nested dicts (children sorted by start time).
+
+        Spans whose parent was dropped by the ``max_spans`` cap are
+        re-rooted at the top level rather than lost.
+        """
+        spans = sorted(self.spans, key=lambda s: s.start)
+        nodes: dict[str, dict[str, Any]] = {}
+        for span in spans:
+            node = span.to_dict(self.origin)
+            node["children"] = []
+            nodes[span.span_id] = node
+        roots: list[dict[str, Any]] = []
+        for span in spans:
+            node = nodes[span.span_id]
+            parent = nodes.get(span.parent_id) if span.parent_id else None
+            if parent is None:
+                roots.append(node)
+            else:
+                parent["children"].append(node)
+        return roots
+
+    def to_dict(self) -> dict[str, Any]:
+        """The whole trace as one JSON-ready payload (used by ``/v1/traces``)."""
+        spans = self.spans
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "started_at": self.started_at,
+            "spans": len(spans),
+            "dropped": self.dropped,
+            "duration_seconds": max(
+                (s.end - self.origin for s in spans if s.end is not None),
+                default=0.0,
+            ),
+            "tree": self.tree(),
+        }
+
+    def __repr__(self) -> str:
+        return f"Tracer({self.name!r}, id={self.trace_id}, spans={len(self)})"

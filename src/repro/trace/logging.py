@@ -1,0 +1,92 @@
+"""Structured JSON logging with trace/span correlation.
+
+:class:`JsonFormatter` renders every log record as one JSON object per
+line and injects the active ``trace_id``/``span_id`` from
+:mod:`repro.trace.runtime` — so a slow-request warning, a watchdog
+violation and the spans of the request that caused them all share one
+correlation key.
+
+Extra structured fields ride on the stdlib ``extra`` mechanism under a
+single ``fields`` key, keeping call sites short::
+
+    logger.warning("slow request", extra={"fields": {"endpoint": path,
+                                                     "ms": elapsed_ms}})
+
+:func:`configure` installs the formatter on the ``repro`` logger tree
+(idempotently), which is what ``repro serve`` does at startup.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Any, TextIO
+
+from repro.trace.runtime import current_span, current_trace_id
+
+#: Marker attribute so configure() can recognize (and replace) its handler.
+_HANDLER_TAG = "_repro_json_handler"
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: timestamp, level, logger, message,
+    trace/span ids (when tracing), and any ``extra={"fields": {...}}``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+            span = current_span()
+            if span is not None:
+                payload["span_id"] = span.span_id
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def configure(
+    level: int = logging.INFO,
+    stream: TextIO | None = None,
+    logger_name: str = "repro",
+) -> logging.Logger:
+    """Install a JSON handler on the ``repro`` logger tree (idempotent).
+
+    Replaces any handler a previous :func:`configure` call installed,
+    so tests can reconfigure the stream freely; handlers installed by
+    the application are left alone.
+    """
+    logger = logging.getLogger(logger_name)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonFormatter())
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def log_event(
+    logger: logging.Logger,
+    message: str,
+    level: int = logging.INFO,
+    **fields: Any,
+) -> None:
+    """Emit one structured record with ``fields`` (and trace correlation)."""
+    logger.log(level, message, extra={"fields": fields})

@@ -1,0 +1,179 @@
+"""Request-tracing tests: X-Trace-Id, /v1/traces, Prometheus, slow log."""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import logging
+import threading
+from urllib.error import HTTPError
+from urllib.request import Request, urlopen
+
+import pytest
+
+from repro.graphs.generators import random_tree
+from repro.serve.client import inline_spec
+from repro.serve.http import create_server
+from repro.serve.service import QueryService
+from repro.trace import Watchdog
+
+QUERY = "E(x, y)"
+GRAPH = random_tree(30, seed=7)
+
+
+@contextlib.contextmanager
+def _server(**kwargs):
+    service = QueryService(max_page_size=100)
+    server = create_server(service, port=0, **kwargs)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def _post(url, path, payload, headers=None):
+    body = json.dumps(payload).encode()
+    request = Request(
+        url + path,
+        data=body,
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urlopen(request, timeout=30) as response:
+        return response.status, dict(response.headers), json.load(response)
+
+
+def _get(url, path, headers=None):
+    with urlopen(Request(url + path, headers=headers or {}), timeout=30) as resp:
+        return resp.status, dict(resp.headers), resp.read()
+
+
+def _enumerate_payload(limit=5):
+    return {**inline_spec(GRAPH), "query": QUERY, "limit": limit}
+
+
+def test_x_trace_id_roundtrip_and_trace_lookup():
+    with _server() as url:
+        trace_id = "deadbeefcafe0001"
+        status, headers, payload = _post(
+            url, "/v1/enumerate", _enumerate_payload(),
+            headers={"X-Trace-Id": trace_id},
+        )
+        assert status == 200 and payload["ok"] is True
+        assert headers["X-Trace-Id"] == trace_id
+
+        status, _, body = _get(url, f"/v1/traces?trace_id={trace_id}")
+        trace = json.loads(body)["trace"]
+        assert trace["trace_id"] == trace_id
+        assert trace["spans"] >= 2  # root + at least cache.get
+        (root,) = trace["tree"]
+        assert root["name"] == "POST /v1/enumerate"
+        assert root["attributes"]["endpoint"] == "/v1/enumerate"
+        assert root["attributes"]["http_status"] == 200
+        assert root["attributes"]["cache"] == "built"
+        child_names = {c["name"] for c in root["children"]}
+        assert "cache.get" in child_names
+        assert "enumerate.step" in child_names
+
+
+def test_invalid_inbound_trace_id_is_replaced():
+    with _server() as url:
+        _, headers, _ = _post(
+            url, "/v1/count", {**inline_spec(GRAPH), "query": QUERY},
+            headers={"X-Trace-Id": "not hex!"},
+        )
+        fresh = headers["X-Trace-Id"]
+        assert fresh != "not hex!"
+        assert len(fresh) == 32
+        int(fresh, 16)
+
+
+def test_unsampled_requests_are_not_recorded():
+    with _server(trace_sample=0.0) as url:
+        _, headers, _ = _post(url, "/v1/count",
+                              {**inline_spec(GRAPH), "query": QUERY})
+        trace_id = headers["X-Trace-Id"]  # id assigned, trace not recorded
+        with pytest.raises(HTTPError) as err:
+            _get(url, f"/v1/traces?trace_id={trace_id}")
+        assert err.value.code == 404
+
+        status, _, body = _get(url, "/v1/traces")
+        listing = json.loads(body)
+        assert listing["ok"] is True
+        assert listing["sample_rate"] == 0.0
+        assert listing["traces"] == []
+
+
+def test_sampled_requests_land_in_the_buffer():
+    with _server(trace_sample=1.0) as url:
+        _post(url, "/v1/count", {**inline_spec(GRAPH), "query": QUERY})
+        _, _, body = _get(url, "/v1/traces")
+        listing = json.loads(body)
+        assert len(listing["traces"]) == 1
+        summary = listing["traces"][0]
+        assert summary["name"] == "POST /v1/count"
+        assert "tree" not in summary  # summaries stay small
+
+
+def test_traces_endpoint_404_when_disabled():
+    with _server(trace_capacity=0) as url:
+        with pytest.raises(HTTPError) as err:
+            _get(url, "/v1/traces")
+        assert err.value.code == 404
+        body = json.loads(err.value.read())
+        assert body["error"]["type"] == "tracing_disabled"
+        # requests still get trace ids even with recording disabled
+        _, headers, _ = _post(url, "/v1/count",
+                              {**inline_spec(GRAPH), "query": QUERY})
+        assert "X-Trace-Id" in headers
+
+
+def test_metrics_format_negotiation():
+    with _server() as url:
+        _, headers, body = _get(url, "/metrics")
+        assert headers["Content-Type"].startswith("application/json")
+        json.loads(body)
+
+        _, headers, body = _get(url, "/metrics",
+                                headers={"Accept": "text/plain"})
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        text = body.decode()
+        assert "# TYPE repro_serve_cache_entries gauge" in text
+
+        _, headers, body = _get(url, "/metrics?format=prom")
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+
+        # a JSON-preferring Accept keeps the JSON shape
+        _, headers, _ = _get(url, "/metrics",
+                             headers={"Accept": "application/json, text/plain"})
+        assert headers["Content-Type"].startswith("application/json")
+
+
+def test_watchdog_state_in_stats_and_prometheus():
+    dog = Watchdog(budget_seconds=10.0, calibration_samples=2)
+    with _server(watchdog=dog, trace_sample=1.0) as url:
+        _post(url, "/v1/enumerate", _enumerate_payload())
+        _, _, body = _get(url, "/v1/stats")
+        stats = json.loads(body)
+        assert stats["watchdog"]["steps_seen"] >= 1
+        assert stats["watchdog"]["violations"] == {"delay": 0, "ops": 0}
+        _, _, body = _get(url, "/metrics?format=prom")
+        assert "repro_watchdog_steps_seen" in body.decode()
+
+
+def test_slow_request_log_emits_structured_warning(caplog):
+    with _server(slow_ms=0.0) as url:  # every request is "slow"
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            _, headers, _ = _post(url, "/v1/count",
+                                  {**inline_spec(GRAPH), "query": QUERY})
+    records = [r for r in caplog.records if r.message == "slow request"]
+    assert records
+    fields = records[-1].fields
+    assert fields["endpoint"] == "/v1/count"
+    assert fields["ms"] > 0
+    assert fields["trace_id"] == headers["X-Trace-Id"]
+    assert fields["status"] == 200

@@ -250,3 +250,63 @@ def test_serve_rejects_bad_knobs(capsys):
     assert "--max-page-size" in capsys.readouterr().err
     assert main(["serve", "--port", "0", "--cache-entries", "0"]) == 2
     assert "--cache-entries" in capsys.readouterr().err
+
+
+def test_trace_command_prints_span_tree(graph_file, capsys):
+    code = main(["trace", graph_file, "E(x, y)", "--enumerate", "5", "--count"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "count: 78" in out
+    assert "enumerated 5 solutions" in out
+    assert "engine.build_index" in out
+    assert "enumerate.step" in out
+    assert "stage" in out  # the per-stage totals table
+
+
+def test_trace_command_writes_chrome_trace(graph_file, tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    code = main(["trace", graph_file, "E(x, y)", "--enumerate", "3",
+                 "-o", str(out)])
+    assert code == 0
+    assert "wrote Chrome trace-event file" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert "engine.build_index" in names
+    assert "enumerate.step" in names
+
+
+def test_trace_command_writes_jsonl(graph_file, tmp_path, capsys):
+    import json
+
+    out = tmp_path / "spans.jsonl"
+    code = main(["trace", graph_file, "E(x, y)", "--test", "0,1",
+                 "-o", str(out)])
+    assert code == 0
+    assert "wrote JSONL spans" in capsys.readouterr().out
+    rows = [json.loads(line) for line in out.read_text().splitlines()]
+    assert len({row["trace_id"] for row in rows}) == 1
+    assert any(row["name"] == "engine.test" for row in rows)
+
+
+def test_trace_command_rejects_bad_enumerate(graph_file, capsys):
+    assert main(["trace", graph_file, "E(x, y)", "--enumerate", "0"]) == 2
+    assert "--enumerate" in capsys.readouterr().err
+
+
+def test_explain_graph_flag_shows_stage_timings(graph_file, capsys):
+    assert main(["explain", "E(x, y)", "--graph", graph_file]) == 0
+    out = capsys.readouterr().out
+    assert "decomposable" in out
+    assert "preprocessing=" in out
+    assert "cover.build" in out
+
+
+def test_serve_trace_flags_are_validated(capsys):
+    assert main(["serve", "--trace-sample", "1.5"]) == 2
+    assert "--trace-sample" in capsys.readouterr().err
+    assert main(["serve", "--trace-buffer", "-1"]) == 2
+    assert "--trace-buffer" in capsys.readouterr().err
+    assert main(["serve", "--watchdog-multiple", "-2"]) == 2
+    assert "--watchdog-multiple" in capsys.readouterr().err

@@ -178,3 +178,68 @@ def test_enumeration_unmetered_without_collect():
     index = build_index(g, "E(x, y)")
     assert list(index.enumerate())  # no active registry, still correct
     assert active() is None
+
+
+# ----------------------------------------------------------------------
+# bounded (reservoir) histograms
+
+
+def test_bounded_histogram_keeps_exact_aggregates():
+    hist = Histogram("delay", max_samples=10)
+    for i in range(1000):
+        hist.record(float(i))
+    assert hist.count == 1000
+    assert hist.total == pytest.approx(sum(range(1000)))
+    assert hist.mean == pytest.approx(499.5)
+    assert hist.max == 999.0
+    assert hist.stored == 10
+
+
+def test_bounded_histogram_quantiles_are_plausible():
+    hist = Histogram("delay", max_samples=100)
+    for i in range(10_000):
+        hist.record(float(i))
+    # a uniform stream's reservoir median lands near the true median
+    assert 1000 < hist.p50 < 9000
+    assert hist.p95 >= hist.p50
+
+
+def test_bounded_histogram_under_cap_is_exact():
+    bounded = Histogram("delay", max_samples=100)
+    exact = Histogram("delay")
+    for value in [5.0, 1.0, 3.0, 2.0, 4.0]:
+        bounded.record(value)
+        exact.record(value)
+    assert bounded.p50 == exact.p50
+    assert bounded.summary() == exact.summary()
+
+
+def test_histogram_rejects_bad_cap():
+    with pytest.raises(ValueError):
+        Histogram("delay", max_samples=0)
+
+
+def test_unbounded_histogram_stores_everything():
+    hist = Histogram("delay")
+    for i in range(5000):
+        hist.record(float(i))
+    assert hist.stored == 5000
+    assert hist.count == 5000
+
+
+def test_registry_histogram_samples_knob():
+    registry = MetricsRegistry(histogram_samples=4)
+    hist = registry.histogram("x")
+    for i in range(100):
+        hist.record(float(i))
+    assert hist.stored == 4
+    assert hist.count == 100
+
+
+def test_collect_histogram_samples_knob():
+    with collect(ops=False, histogram_samples=8) as registry:
+        hist = registry.histogram("y")
+        for i in range(50):
+            hist.record(float(i))
+    assert hist.stored == 8
+    assert hist.count == 50

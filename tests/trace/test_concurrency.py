@@ -1,0 +1,112 @@
+"""Concurrency tests: context-var isolation across threads.
+
+The tracing runtime must give each thread (and each request in the
+threaded HTTP server) its own independent trace: spans recorded in one
+thread's ``tracing()`` block must never leak into another's tracer, and
+worker threads without an active trace must record nothing at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.trace import active_tracer, span, tracing
+
+THREADS = 8
+SPANS_PER_THREAD = 25
+
+
+def _traced_job(worker: int):
+    barrier_spans = []
+    with tracing(f"job-{worker}", worker=worker) as tracer:
+        for i in range(SPANS_PER_THREAD):
+            with span("outer", worker=worker, i=i) as outer:
+                with span("inner", worker=worker) as inner:
+                    barrier_spans.append((outer, inner))
+    return tracer
+
+
+def test_threads_get_disjoint_well_nested_traces():
+    with ThreadPoolExecutor(max_workers=THREADS) as pool:
+        tracers = list(pool.map(_traced_job, range(THREADS)))
+
+    assert len({t.trace_id for t in tracers}) == THREADS
+    for worker, tracer in enumerate(tracers):
+        spans = tracer.spans
+        # root + (outer + inner) per iteration, nothing from other threads
+        assert len(spans) == 1 + 2 * SPANS_PER_THREAD
+        assert {s.trace_id for s in spans} == {tracer.trace_id}
+        for s in spans:
+            if s.name != f"job-{worker}":
+                assert s.attributes["worker"] == worker
+        # well-nested: every inner's parent is an outer, every outer's
+        # parent is the root
+        by_id = {s.span_id: s for s in spans}
+        root = next(s for s in spans if s.parent_id is None)
+        assert root.name == f"job-{worker}"
+        for s in spans:
+            if s.name == "outer":
+                assert s.parent_id == root.span_id
+            elif s.name == "inner":
+                assert by_id[s.parent_id].name == "outer"
+
+
+def test_no_context_leak_after_tracing():
+    results = {}
+
+    def job():
+        with tracing("ephemeral"):
+            pass
+        results["after"] = active_tracer()
+
+    thread = threading.Thread(target=job)
+    thread.start()
+    thread.join()
+    assert results["after"] is None
+    assert active_tracer() is None
+
+
+def test_worker_threads_without_trace_record_nothing():
+    """A pool fan-out from inside tracing(): workers see no active trace,
+    so their spans vanish silently instead of mis-parenting."""
+    recorded = []
+
+    def worker(i):
+        assert active_tracer() is None
+        with span("worker.step", i=i) as sp:
+            recorded.append(sp)
+        return i
+
+    with tracing("fan-out") as tracer:
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            assert sorted(pool.map(worker, range(10))) == list(range(10))
+    assert all(sp is None for sp in recorded)
+    assert [s.name for s in tracer.spans] == ["fan-out"]
+
+
+def test_one_tracer_accepts_spans_from_many_threads():
+    """Tracer.add itself is thread-safe (the serve watchdog relies on it)."""
+    from repro.trace import Span, Tracer, new_span_id
+
+    tracer = Tracer(name="shared", max_spans=10_000)
+
+    def add_some(base):
+        for _ in range(100):
+            s = Span(
+                trace_id=tracer.trace_id,
+                span_id=new_span_id(),
+                parent_id=None,
+                name=f"t{base}",
+                start=0.0,
+            )
+            s.end = 1e-6
+            tracer.add(s)
+
+    threads = [threading.Thread(target=add_some, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(tracer.spans) == 800
+    assert tracer.dropped == 0

@@ -1,0 +1,91 @@
+"""Exporter tests: Chrome trace events, JSONL, and the text renderers."""
+
+from __future__ import annotations
+
+import json
+
+from repro.trace import (
+    render_stage_totals,
+    render_tree,
+    span,
+    stage_totals,
+    to_chrome_trace,
+    to_jsonl,
+    tracing,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _sample_tracer():
+    with tracing("root", job="sample") as tracer:
+        with span("build", n=10):
+            with span("cover"):
+                pass
+        with span("enumerate.step"):
+            pass
+        with span("enumerate.step"):
+            pass
+    return tracer
+
+
+def test_chrome_trace_shape():
+    tracer = _sample_tracer()
+    doc = to_chrome_trace(tracer)
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(meta) == 1 and meta[0]["name"] == "process_name"
+    assert len(complete) == len(tracer.spans)
+    names = {e["name"] for e in complete}
+    assert {"root", "build", "cover", "enumerate.step"} <= names
+    for event in complete:
+        assert event["ts"] >= 0  # microseconds relative to trace origin
+        assert event["dur"] >= 0
+        assert event["args"]["span_id"]
+    build = next(e for e in complete if e["name"] == "build")
+    assert build["args"]["n"] == 10
+
+
+def test_chrome_trace_roundtrips_through_json(tmp_path):
+    tracer = _sample_tracer()
+    out = tmp_path / "trace.json"
+    write_chrome_trace(tracer, out)
+    loaded = json.loads(out.read_text())
+    assert loaded == to_chrome_trace(tracer)
+
+
+def test_jsonl_one_object_per_span(tmp_path):
+    tracer = _sample_tracer()
+    lines = to_jsonl(tracer).strip().split("\n")
+    assert len(lines) == len(tracer.spans)
+    rows = [json.loads(line) for line in lines]
+    assert all(row["trace_id"] == tracer.trace_id for row in rows)
+    assert {row["name"] for row in rows} == {s.name for s in tracer.spans}
+    out = tmp_path / "spans.jsonl"
+    write_jsonl(tracer, out)
+    assert out.read_text() == to_jsonl(tracer) + "\n"
+
+
+def test_render_tree_is_indented_ascii():
+    tracer = _sample_tracer()
+    text = render_tree(tracer)
+    assert "root" in text
+    assert "|--" in text or "`--" in text
+    # children are indented under the root
+    root_line = next(line for line in text.splitlines() if "root" in line)
+    build_line = next(line for line in text.splitlines() if "build" in line)
+    assert len(build_line) - len(build_line.lstrip()) > len(root_line) - len(
+        root_line.lstrip()
+    )
+
+
+def test_stage_totals_aggregate_by_name():
+    tracer = _sample_tracer()
+    totals = stage_totals(tracer.spans)
+    assert totals["enumerate.step"]["count"] == 2
+    assert totals["build"]["count"] == 1
+    assert totals["build"]["total_seconds"] >= totals["cover"]["total_seconds"]
+    text = render_stage_totals(tracer.spans)
+    assert "enumerate.step" in text
+    assert "count" in text

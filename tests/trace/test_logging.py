@@ -1,0 +1,69 @@
+"""Structured JSON logging tests: formatter fields and trace correlation."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.trace import current_span, log_event, span, tracing
+from repro.trace.logging import JsonFormatter, configure
+
+
+def _capture_logger(name: str) -> tuple[logging.Logger, io.StringIO]:
+    stream = io.StringIO()
+    logger = configure(stream=stream, logger_name=name)
+    return logger, stream
+
+
+def test_formatter_emits_one_json_object():
+    record = logging.LogRecord(
+        "repro.test", logging.INFO, __file__, 1, "hello %s", ("world",), None
+    )
+    payload = json.loads(JsonFormatter().format(record))
+    assert payload["message"] == "hello world"
+    assert payload["level"] == "info"
+    assert payload["logger"] == "repro.test"
+    assert payload["ts"].endswith("Z")
+    assert "trace_id" not in payload  # no active trace
+
+
+def test_log_event_merges_fields():
+    logger, stream = _capture_logger("repro.test.fields")
+    log_event(logger, "slow request", level=logging.WARNING, endpoint="/v1/x", ms=12.5)
+    payload = json.loads(stream.getvalue())
+    assert payload["message"] == "slow request"
+    assert payload["level"] == "warning"
+    assert payload["endpoint"] == "/v1/x"
+    assert payload["ms"] == 12.5
+
+
+def test_trace_ids_are_injected_when_tracing():
+    logger, stream = _capture_logger("repro.test.corr")
+    with tracing("job") as tracer:
+        with span("work"):
+            inner = current_span()
+            log_event(logger, "inside")
+    payload = json.loads(stream.getvalue())
+    assert payload["trace_id"] == tracer.trace_id
+    assert payload["span_id"] == inner.span_id
+
+
+def test_exceptions_are_rendered():
+    logger, stream = _capture_logger("repro.test.exc")
+    try:
+        raise RuntimeError("kaboom")
+    except RuntimeError:
+        logger.exception("it broke")
+    payload = json.loads(stream.getvalue())
+    assert payload["message"] == "it broke"
+    assert "kaboom" in payload["exception"]
+
+
+def test_configure_is_idempotent():
+    logger, _ = _capture_logger("repro.test.idem")
+    logger2, stream2 = _capture_logger("repro.test.idem")
+    assert logger is logger2
+    assert len(logger.handlers) == 1  # the old handler was replaced
+    logger.info("once")
+    assert len(stream2.getvalue().strip().splitlines()) == 1
