@@ -1,7 +1,8 @@
 #!/usr/bin/env python
-"""Run the complexity-contract checker and annotate CI output.
+"""Run both static contract passes and annotate CI output.
 
-Thin wrapper over ``python -m repro.contracts`` for use in GitHub
+Thin wrapper over ``python -m repro.contracts`` (complexity *and*
+concurrency contracts, one merged report) for use in GitHub
 Actions: with ``--github`` every finding becomes a workflow command
 (``::error`` / ``::notice``) so violations show up inline on the PR
 diff.  Exit code matches the checker's (non-zero iff unwaived errors).
@@ -21,7 +22,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.contracts.checker import check_paths  # noqa: E402
+from repro.contracts.lint import run_lint  # noqa: E402
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -30,10 +31,14 @@ def main(argv: list[str] | None = None) -> int:
                         help="files or directories (default: src/repro)")
     parser.add_argument("--github", action="store_true",
                         help="emit GitHub Actions workflow commands")
+    parser.add_argument("--json-out", metavar="FILE", default=None,
+                        help="also write the merged JSON report to FILE")
     args = parser.parse_args(argv)
 
     paths = [Path(p) for p in args.paths] or [REPO_ROOT / "src" / "repro"]
-    report = check_paths(paths)
+    report = run_lint(paths)
+    if args.json_out:
+        Path(args.json_out).write_text(report.to_json() + "\n")
 
     if args.github:
         for finding in json.loads(report.to_json())["findings"]:

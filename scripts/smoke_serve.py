@@ -16,7 +16,12 @@ then drives every endpoint through the stdlib client and asserts:
 * malformed requests come back as clean 400s, never 500s;
 * the server shuts down cleanly on SIGINT.
 
-Run from the repo root: ``python scripts/smoke_serve.py``.
+With ``--paranoid`` the server runs under the runtime freeze tripwire
+(any write to a frozen index outside its build phase raises), proving
+the guard is inert on the whole serving read path under concurrent
+load — the dynamic counterpart of the static CCY pass.
+
+Run from the repo root: ``python scripts/smoke_serve.py [--paranoid]``.
 """
 
 from __future__ import annotations
@@ -58,10 +63,10 @@ def check(condition: bool, what: str) -> None:
     print(f"  ok: {what}")
 
 
-def start_server() -> tuple[subprocess.Popen, str]:
+def start_server(extra_args: list[str] | None = None) -> tuple[subprocess.Popen, str]:
     env = {**os.environ, "PYTHONPATH": str(REPO / "src")}
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *(extra_args or [])],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -77,11 +82,18 @@ def start_server() -> tuple[subprocess.Popen, str]:
     return proc, f"http://{match.group(1)}:{match.group(2)}"
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--paranoid", action="store_true",
+                        help="run the server with the freeze tripwire installed")
+    args = parser.parse_args(argv)
     oracle = build_index(random_tree(48, seed=9), QUERY)
     solutions = list(oracle.enumerate())
-    proc, url = start_server()
-    print(f"server up at {url}; oracle has {len(solutions)} solutions")
+    proc, url = start_server(["--paranoid"] if args.paranoid else None)
+    mode = " (paranoid)" if args.paranoid else ""
+    print(f"server up at {url}{mode}; oracle has {len(solutions)} solutions")
     try:
         client = ServiceClient(url, timeout=120.0)
         check(client.health(), "/healthz answers")
@@ -231,7 +243,7 @@ def main() -> int:
             print("FAIL: server did not shut down on SIGINT", file=sys.stderr)
             return 1
     check(code == 0, "server exited 0 on SIGINT")
-    print(f"smoke_serve: all {_checks} checks passed")
+    print(f"smoke_serve: all {_checks} checks passed{mode}")
     return 0
 
 

@@ -49,8 +49,10 @@ Commands
 
 ``lint [PATHS...] [--format text|json]``
     Statically check the complexity contracts (``@constant_time`` /
-    ``@delay`` / ``@pseudo_linear`` annotations) over the given paths;
-    defaults to the installed ``repro`` package itself.
+    ``@delay`` / ``@pseudo_linear``) *and* the concurrency contracts
+    (``@frozen_after_build`` / ``@read_only`` / ``guarded_by``) over the
+    given paths in one merged report; defaults to the installed
+    ``repro`` package itself.
 
 Error handling: library code raises :class:`repro.errors.ReproError`
 subclasses; :func:`main` is a thin mapper from those to one-line stderr
@@ -350,6 +352,13 @@ def _cmd_serve(args) -> int:
     # every serve log line is one JSON object (trace ids included) so
     # aggregators can follow a request across the slow-log and watchdog
     configure_logging()
+    if args.paranoid:
+        # belt-and-suspenders mode: the static checker proves the read
+        # path write-free, the tripwire catches what analysis can't see
+        # (extensions, exec'd code, new code without annotations)
+        from repro.contracts import install_freeze
+
+        install_freeze()
     watchdog = None
     if args.watchdog_multiple > 0:
         watchdog = Watchdog(multiple=args.watchdog_multiple)
@@ -395,7 +404,7 @@ def _cmd_bench_suite(args) -> int:
 
 
 def _cmd_lint(args) -> int:
-    from repro.contracts.checker import main as lint_main
+    from repro.contracts.lint import main as lint_main
 
     argv = list(args.paths)
     if args.format != "text":
@@ -521,6 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="X",
                        help="flag enumeration steps slower than X times the "
                             "calibrated budget (0 disables the watchdog)")
+    serve.add_argument("--paranoid", action="store_true",
+                       help="install the freeze tripwire: any write to a "
+                            "frozen index outside its build phase raises "
+                            "instead of racing (cheap __setattr__ guard)")
     serve.set_defaults(func=_cmd_serve)
 
     from repro.benchrunner import add_arguments as _bench_suite_arguments
@@ -532,7 +545,9 @@ def build_parser() -> argparse.ArgumentParser:
     _bench_suite_arguments(bench_suite)
     bench_suite.set_defaults(func=_cmd_bench_suite)
 
-    lint = commands.add_parser("lint", help="check the complexity contracts")
+    lint = commands.add_parser(
+        "lint", help="check the complexity and concurrency contracts"
+    )
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories (default: the repro package)")
     lint.add_argument("--format", default="text", choices=["text", "json"])

@@ -19,7 +19,18 @@ contracts from docstring prose into machine-checked annotations:
   check with lightweight type inference).  ``# contract: <reason>``
   comments waive a finding while keeping it in the report.
 
-Run it as ``repro lint src/`` or ``python -m repro.contracts src/``.
+* :mod:`repro.contracts.effects` — the concurrency vocabulary
+  (:func:`frozen_after_build`, :func:`read_only`, :func:`builds`,
+  :func:`guarded_by`, :func:`locked`) that states the build-then-freeze
+  discipline of the shared-index read path, plus the runtime
+  :func:`freeze` tripwire (``repro serve --paranoid``).
+* :mod:`repro.contracts.concurrency` — the matching AST pass (CCY101 —
+  CCY107): no writes from ``@read_only`` methods, no mutation of frozen
+  instances outside their build phase, ``guarded_by`` fields written
+  only under their lock, stale annotations flagged.
+
+Run both passes as ``repro lint src/`` or ``python -m repro.contracts
+src/`` — one merged report, one waiver vocabulary.
 """
 
 from repro.contracts.decorators import (
@@ -32,14 +43,52 @@ from repro.contracts.decorators import (
     pseudo_linear,
     registered_contracts,
 )
+from repro.contracts.effects import (
+    Effect,
+    FrozenMutationError,
+    FrozenSpec,
+    GuardedSpec,
+    build_phase,
+    builds,
+    effect_of,
+    freeze,
+    freeze_active,
+    frozen_after_build,
+    frozen_classes,
+    frozen_spec_of,
+    guarded_by,
+    in_build_phase,
+    install_freeze,
+    locked,
+    read_only,
+    uninstall_freeze,
+)
 
 __all__ = [
     "Contract",
+    "Effect",
+    "FrozenMutationError",
+    "FrozenSpec",
+    "GuardedSpec",
     "amortized",
+    "build_phase",
+    "builds",
     "constant_time",
     "contract_of",
     "delay",
+    "effect_of",
+    "freeze",
+    "freeze_active",
+    "frozen_after_build",
+    "frozen_classes",
+    "frozen_spec_of",
+    "guarded_by",
+    "in_build_phase",
+    "install_freeze",
     "instrument",
+    "locked",
     "pseudo_linear",
+    "read_only",
     "registered_contracts",
+    "uninstall_freeze",
 ]

@@ -1,10 +1,10 @@
-"""``python -m repro.contracts src/`` — run the contract checker."""
+"""``python -m repro.contracts src/`` — run both static passes."""
 
 from __future__ import annotations
 
 import sys
 
-from repro.contracts.checker import main
+from repro.contracts.lint import main
 
 if __name__ == "__main__":
     sys.exit(main())

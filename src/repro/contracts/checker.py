@@ -154,7 +154,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "rule": self.rule,
-            "title": RULE_TITLES[self.rule],
+            "title": RULE_TITLES.get(self.rule, self.rule),
             "function": self.function,
             "message": self.message,
             "severity": self.severity,
@@ -177,14 +177,23 @@ class Report:
     def exit_code(self) -> int:
         return 1 if self.errors else 0
 
+    def rule_counts(self) -> dict[str, dict[str, int]]:
+        """Per-rule error/waived tallies (the merged-report summary)."""
+        out: dict[str, dict[str, int]] = {}
+        for f in self.findings:
+            entry = out.setdefault(f.rule, {"errors": 0, "waived": 0})
+            entry["waived" if f.waived else "errors"] += 1
+        return dict(sorted(out.items()))
+
     def to_json(self) -> str:
         return json.dumps(
             {
-                "version": 1,
+                "version": 2,
                 "files_checked": self.files_checked,
                 "functions_checked": self.functions_checked,
                 "errors": len(self.errors),
                 "waived": len(self.findings) - len(self.errors),
+                "rules": self.rule_counts(),
                 "findings": [f.to_dict() for f in self.findings],
             },
             indent=2,

@@ -1,0 +1,813 @@
+"""AST-based concurrency & immutability checker (the second lint pass).
+
+Statically proves the discipline that makes the shared-index read path
+race-free: a built index tower is immutable (``@frozen_after_build``),
+its read methods never write (``@read_only``), its lazily-filled memo
+cells are only touched under their declared locks, and the serving
+layer's ``@guarded_by`` fields are only written inside ``with
+self.<lock>:``.  Rules:
+
+=========  ==================================================================
+rule id    fires when
+=========  ==================================================================
+CCY101     a ``@read_only`` method of a frozen class writes ``self`` or
+           reachable index state — attribute rebinding, subscript or
+           augmented assignment, ``del``, or a mutator-method call
+           (``append``/``update``/``setdefault``/...) on anything rooted
+           at ``self`` or typed to a frozen class.  Declared memo
+           *cells* are exempt **only** inside ``with self.<lock>:`` for
+           the cell's declared lock; objects constructed inside the
+           method (fresh locals) are exempt
+CCY102     a ``@read_only`` method calls a ``@builds`` or unannotated
+           method of a frozen class (resolved through the same typed
+           call resolution as the complexity checker), or reads a
+           ``@builds`` property — unless the receiver is a fresh local
+CCY103     any *other* function mutates an object typed to a frozen
+           class, or calls one of its ``@builds`` methods, outside
+           ``__init__``/``@builds`` code and not on a fresh local
+CCY104     a method of a ``@guarded_by(lock, *fields)`` class *writes* a
+           guarded field outside ``with self.<lock>:`` (lock-free reads
+           are deliberately legal); ``__init__``, ``@builds`` and
+           ``@locked(lock)`` methods are exempt
+CCY105     a method calls a ``@locked(lock)`` sibling without holding
+           the lock
+CCY106     a stale annotation: a declared cell, guarded field, or lock
+           names an attribute the class no longer has
+CCY107     a method of a frozen class carries neither ``@read_only`` nor
+           ``@builds`` (``__init__``/``__post_init__`` are implicitly
+           ``@builds``)
+=========  ==================================================================
+
+Waivers work exactly as in the complexity pass: a ``# contract:
+<reason>`` comment on the offending line (or the line above) demotes the
+finding to a note.  Calls and receivers the type inference cannot
+resolve are ignored — like the complexity checker, this pass prefers
+false negatives over false positives on the annotated tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.contracts.checker import (
+    RULE_TITLES,
+    ClassInfo,
+    ContractChecker,
+    Finding,
+    FuncInfo,
+    ModuleInfo,
+    Report,
+    _cls_atoms,
+    _is_property,
+)
+
+RULE_READ_ONLY_WRITE = "CCY101"
+RULE_READ_ONLY_CALL = "CCY102"
+RULE_FROZEN_EXTERNAL = "CCY103"
+RULE_GUARDED_FIELD = "CCY104"
+RULE_LOCKED_CALL = "CCY105"
+RULE_STALE = "CCY106"
+RULE_UNANNOTATED = "CCY107"
+
+RULE_TITLES.update(
+    {
+        RULE_READ_ONLY_WRITE: "write to index state in a read-only method",
+        RULE_READ_ONLY_CALL: "read-only method calls into mutating code",
+        RULE_FROZEN_EXTERNAL: "frozen instance mutated outside its build phase",
+        RULE_GUARDED_FIELD: "guarded field written outside its lock",
+        RULE_LOCKED_CALL: "locked method called without its lock held",
+        RULE_STALE: "stale concurrency annotation",
+        RULE_UNANNOTATED: "frozen-class method lacks an effect annotation",
+    }
+)
+
+#: Method names treated as in-place mutation of their receiver.
+MUTATOR_METHODS = {
+    "add",
+    "append",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "move_to_end",
+    "pop",
+    "popitem",
+    "remove",
+    "reverse",
+    "setdefault",
+    "sort",
+    "update",
+}
+
+#: Methods the build phase owns implicitly (no decorator needed).
+IMPLICIT_BUILDS = {"__init__", "__post_init__"}
+
+
+# ----------------------------------------------------------------------
+# decorator parsing (from syntax — un-imported code is checked the same)
+# ----------------------------------------------------------------------
+def _decorator_name(dec: ast.expr) -> str | None:
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return getattr(target, "id", None)
+
+
+def _frozen_cells(node: ast.ClassDef) -> dict[str, str] | None:
+    """The ``cells`` mapping if the class is ``@frozen_after_build``."""
+    for dec in node.decorator_list:
+        if _decorator_name(dec) != "frozen_after_build":
+            continue
+        cells: dict[str, str] = {}
+        if isinstance(dec, ast.Call):
+            for kw in dec.keywords:
+                if kw.arg == "cells" and isinstance(kw.value, ast.Dict):
+                    for key, value in zip(kw.value.keys, kw.value.values):
+                        if (
+                            isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)
+                            and isinstance(value, ast.Constant)
+                            and isinstance(value.value, str)
+                        ):
+                            cells[key.value] = value.value
+        return cells
+    return None
+
+
+def _guarded_spec(node: ast.ClassDef) -> tuple[str, tuple[str, ...]] | None:
+    """``(lock, fields)`` if the class is ``@guarded_by(lock, *fields)``."""
+    for dec in node.decorator_list:
+        if _decorator_name(dec) != "guarded_by" or not isinstance(dec, ast.Call):
+            continue
+        names = [
+            a.value
+            for a in dec.args
+            if isinstance(a, ast.Constant) and isinstance(a.value, str)
+        ]
+        if names:
+            return names[0], tuple(names[1:])
+    return None
+
+
+def _effect_kind(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    for dec in node.decorator_list:
+        name = _decorator_name(dec)
+        if name in ("read_only", "builds"):
+            return name
+    return None
+
+
+def _locked_lock(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    for dec in node.decorator_list:
+        if _decorator_name(dec) == "locked" and isinstance(dec, ast.Call):
+            if dec.args and isinstance(dec.args[0], ast.Constant):
+                value = dec.args[0].value
+                if isinstance(value, str):
+                    return value
+    return None
+
+
+# ----------------------------------------------------------------------
+# lexical lock tracking
+# ----------------------------------------------------------------------
+def _self_lock_name(expr: ast.expr) -> str | None:
+    """``with self._lock:`` -> ``"_lock"`` (anything else -> None)."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _walk_with_locks(
+    root: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[ast.AST, frozenset[str]]]:
+    """Every node in the body paired with the self-locks held around it."""
+    out: list[tuple[ast.AST, frozenset[str]]] = []
+
+    def visit(node: ast.AST, held: frozenset[str]) -> None:
+        out.append((node, held))
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = set(held)
+            for item in node.items:
+                visit(item.context_expr, held)
+                if item.optional_vars is not None:
+                    visit(item.optional_vars, held)
+                lock = _self_lock_name(item.context_expr)
+                if lock is not None:
+                    inner.add(lock)
+            inner_frozen = frozenset(inner)
+            for stmt in node.body:
+                visit(stmt, inner_frozen)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in root.body:
+        visit(stmt, frozenset())
+    return out
+
+
+def _root_is_self(expr: ast.expr) -> bool:
+    node = expr
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return isinstance(node, ast.Name) and node.id == "self"
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    """``self.<attr>`` -> the attribute name (anything else -> None)."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+# ----------------------------------------------------------------------
+# the checker
+# ----------------------------------------------------------------------
+class ConcurrencyChecker(ContractChecker):
+    """One concurrency-checking run over a set of files/directories."""
+
+    def __init__(self, paths: list[str | Path]) -> None:
+        super().__init__(paths)
+        self.frozen: dict[str, dict[str, str]] = {}  # class qual -> cells
+        self.guarded: dict[str, tuple[str, tuple[str, ...]]] = {}
+        self.effects: dict[str, str] = {}  # func qual -> read_only|builds
+        self.locked: dict[str, str] = {}  # func qual -> required lock
+
+    # ------------------------------------------------------------------
+    def run(self) -> Report:
+        for path in self.files:
+            self._index_file(path)
+        for cls in self.classes.values():
+            self._infer_attr_types(cls)
+        self._collect_specs()
+        findings: list[Finding] = []
+        checked = 0
+        for cls in self.classes.values():
+            cells = self.frozen.get(cls.qualname)
+            guard = self.guarded.get(cls.qualname)
+            if cells is not None:
+                checked += len(cls.methods)
+                self._check_frozen_class(cls, cells, findings)
+            if guard is not None:
+                if cells is None:
+                    checked += len(cls.methods)
+                self._check_guarded_class(cls, guard, findings)
+            self._check_stale(cls, cells, guard, findings)
+        if self.frozen:
+            self._check_external_mutation(findings)
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+        deduped: list[Finding] = []
+        seen = set()
+        for f in findings:
+            key = (f.path, f.line, f.rule, f.message)
+            if key not in seen:
+                seen.add(key)
+                deduped.append(f)
+        return Report(deduped, len(self.files), checked)
+
+    # ------------------------------------------------------------------
+    def _collect_specs(self) -> None:
+        for cls in self.classes.values():
+            cells = _frozen_cells(cls.node)
+            if cells is not None:
+                self.frozen[cls.qualname] = cells
+            guard = _guarded_spec(cls.node)
+            if guard is not None:
+                self.guarded[cls.qualname] = guard
+        for fn in self.functions.values():
+            effect = _effect_kind(fn.node)
+            if effect is not None:
+                self.effects[fn.qualname] = effect
+            lock = _locked_lock(fn.node)
+            if lock is not None:
+                self.locked[fn.qualname] = lock
+
+    def _frozen_atoms(self, types: set) -> list[str]:
+        return [qual for qual in _cls_atoms(types) if qual in self.frozen]
+
+    # ------------------------------------------------------------------
+    # mutation extraction
+    # ------------------------------------------------------------------
+    def _mutations(
+        self, fn: FuncInfo
+    ) -> list[tuple[ast.AST, ast.expr, str | None, frozenset[str]]]:
+        """``(locus, owner, attr, held-locks)`` for every write in ``fn``.
+
+        ``attr`` set means ``owner.attr`` is rebound (setattr); ``attr``
+        None means the object denoted by ``owner`` is mutated in place
+        (subscript write, ``del``, or a mutator-method call).
+        """
+        out: list[tuple[ast.AST, ast.expr, str | None, frozenset[str]]] = []
+        for node, held in _walk_with_locks(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._target_mutations(node, target, held, out)
+            elif isinstance(node, ast.AugAssign):
+                self._target_mutations(node, node.target, held, out)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                self._target_mutations(node, node.target, held, out)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._target_mutations(node, target, held, out)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATOR_METHODS
+            ):
+                out.append((node, node.func.value, None, held))
+        return out
+
+    def _target_mutations(
+        self,
+        locus: ast.AST,
+        target: ast.expr,
+        held: frozenset[str],
+        out: list,
+    ) -> None:
+        if isinstance(target, ast.Attribute):
+            out.append((locus, target.value, target.attr, held))
+        elif isinstance(target, ast.Subscript):
+            out.append((locus, target.value, None, held))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._target_mutations(locus, element, held, out)
+        elif isinstance(target, ast.Starred):
+            self._target_mutations(locus, target.value, held, out)
+
+    def _fresh_locals(
+        self, fn: FuncInfo, env: dict[str, set], module: ModuleInfo
+    ) -> set[str]:
+        """Names only ever bound to objects constructed in this function."""
+        fresh: set[str] = set()
+        tainted: set[str] = set()
+        for node in ast.walk(fn.node):
+            value: ast.expr | None = None
+            names: list[str] = []
+            if isinstance(node, ast.Assign):
+                value = node.value
+                names = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and isinstance(node.target, ast.Name)
+                and node.value is not None
+            ):
+                value = node.value
+                names = [node.target.id]
+            if not names:
+                continue
+            if isinstance(value, ast.Call):
+                resolved = self._resolve_call(value, env, module, fn.cls)
+                if resolved is not None and resolved[0] == "class":
+                    fresh.update(names)
+                    continue
+            tainted.update(names)
+        return fresh - tainted
+
+    # ------------------------------------------------------------------
+    # frozen classes: CCY101 / CCY102 / CCY107
+    # ------------------------------------------------------------------
+    def _check_frozen_class(
+        self, cls: ClassInfo, cells: dict[str, str], findings: list[Finding]
+    ) -> None:
+        module = self.modules[cls.module]
+        for fn in cls.methods.values():
+            if fn.name in IMPLICIT_BUILDS:
+                continue
+            effect = self.effects.get(fn.qualname)
+            if effect is None:
+                findings.append(
+                    self._finding(
+                        fn,
+                        fn.node,
+                        RULE_UNANNOTATED,
+                        f"method of frozen class {cls.qualname} carries "
+                        f"neither @read_only nor @builds",
+                        module,
+                    )
+                )
+                continue
+            if effect != "read_only":
+                continue
+            env = self._build_env(fn)
+            fresh = self._fresh_locals(fn, env, module)
+            self._check_read_only_writes(cls, cells, fn, env, fresh, module, findings)
+            self._check_read_only_calls(cls, fn, env, fresh, module, findings)
+
+    def _check_read_only_writes(
+        self,
+        cls: ClassInfo,
+        cells: dict[str, str],
+        fn: FuncInfo,
+        env: dict[str, set],
+        fresh: set[str],
+        module: ModuleInfo,
+        findings: list[Finding],
+    ) -> None:
+        for locus, owner, attr, held in self._mutations(fn):
+            if isinstance(owner, ast.Name) and owner.id in fresh:
+                continue
+            if attr is not None:
+                # attribute rebinding: owner.attr = ...
+                if isinstance(owner, ast.Name) and owner.id == "self":
+                    lock = cells.get(attr)
+                    if lock is not None and lock in held:
+                        continue
+                    if lock is not None:
+                        message = (
+                            f"memo cell 'self.{attr}' filled outside "
+                            f"'with self.{lock}:' (its declared lock)"
+                        )
+                    else:
+                        message = (
+                            f"read-only method rebinds 'self.{attr}' "
+                            f"(not a declared memo cell)"
+                        )
+                    findings.append(
+                        self._finding(fn, locus, RULE_READ_ONLY_WRITE, message, module)
+                    )
+                    continue
+                if _root_is_self(owner) or self._frozen_atoms(
+                    self._expr_types(owner, env, module, fn.cls)
+                ):
+                    findings.append(
+                        self._finding(
+                            fn,
+                            locus,
+                            RULE_READ_ONLY_WRITE,
+                            f"read-only method writes attribute {attr!r} of "
+                            f"reachable index state ({ast.unparse(owner)})",
+                            module,
+                        )
+                    )
+                continue
+            # in-place mutation of the object denoted by owner
+            cell = _self_attr(owner)
+            if cell is not None:
+                lock = cells.get(cell)
+                if lock is not None and lock in held:
+                    continue
+                if lock is not None:
+                    message = (
+                        f"memo cell 'self.{cell}' mutated outside "
+                        f"'with self.{lock}:' (its declared lock)"
+                    )
+                else:
+                    message = (
+                        f"read-only method mutates 'self.{cell}' in place "
+                        f"(not a declared memo cell)"
+                    )
+                findings.append(
+                    self._finding(fn, locus, RULE_READ_ONLY_WRITE, message, module)
+                )
+                continue
+            if _root_is_self(owner) or self._frozen_atoms(
+                self._expr_types(owner, env, module, fn.cls)
+            ):
+                findings.append(
+                    self._finding(
+                        fn,
+                        locus,
+                        RULE_READ_ONLY_WRITE,
+                        f"read-only method mutates reachable index state "
+                        f"({ast.unparse(owner)})",
+                        module,
+                    )
+                )
+
+    def _check_read_only_calls(
+        self,
+        cls: ClassInfo,
+        fn: FuncInfo,
+        env: dict[str, set],
+        fresh: set[str],
+        module: ModuleInfo,
+        findings: list[Finding],
+    ) -> None:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                resolved = self._resolve_call(node, env, module, fn.cls)
+                if resolved is None or resolved[0] != "funcs":
+                    continue
+                receiver_fresh = (
+                    isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in fresh
+                )
+                if receiver_fresh:
+                    continue
+                for callee in resolved[1]:
+                    if callee.cls not in self.frozen:
+                        continue
+                    effect = self.effects.get(callee.qualname)
+                    if effect == "read_only":
+                        continue
+                    label = effect if effect is not None else "unannotated"
+                    findings.append(
+                        self._finding(
+                            fn,
+                            node,
+                            RULE_READ_ONLY_CALL,
+                            f"read-only method calls {callee.qualname} "
+                            f"[{label}] on a frozen class",
+                            module,
+                        )
+                    )
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+                if isinstance(node.value, ast.Name) and node.value.id in fresh:
+                    continue
+                for qual in self._frozen_atoms(
+                    self._expr_types(node.value, env, module, fn.cls)
+                ):
+                    info = self.classes.get(qual)
+                    method = info.methods.get(node.attr) if info else None
+                    if (
+                        method is not None
+                        and _is_property(method.node)
+                        and self.effects.get(method.qualname) == "builds"
+                    ):
+                        findings.append(
+                            self._finding(
+                                fn,
+                                node,
+                                RULE_READ_ONLY_CALL,
+                                f"read-only method reads @builds property "
+                                f"{method.qualname}",
+                                module,
+                            )
+                        )
+
+    # ------------------------------------------------------------------
+    # everything else: CCY103
+    # ------------------------------------------------------------------
+    def _check_external_mutation(self, findings: list[Finding]) -> None:
+        for fn in self.functions.values():
+            if fn.cls in self.frozen:
+                continue  # covered by CCY101/CCY107
+            if fn.name in IMPLICIT_BUILDS:
+                continue
+            if self.effects.get(fn.qualname) == "builds":
+                continue
+            module = self.modules[fn.module]
+            env = self._build_env(fn)
+            fresh = self._fresh_locals(fn, env, module)
+            for locus, owner, attr, held in self._mutations(fn):
+                if isinstance(owner, ast.Name) and owner.id in fresh:
+                    continue
+                frozen = self._frozen_atoms(
+                    self._expr_types(owner, env, module, fn.cls)
+                )
+                if frozen:
+                    what = (
+                        f"rebinds attribute {attr!r} of" if attr is not None
+                        else "mutates"
+                    )
+                    findings.append(
+                        self._finding(
+                            fn,
+                            locus,
+                            RULE_FROZEN_EXTERNAL,
+                            f"{what} a frozen {', '.join(sorted(frozen))} "
+                            f"instance outside its build phase",
+                            module,
+                        )
+                    )
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                resolved = self._resolve_call(node, env, module, fn.cls)
+                if resolved is None or resolved[0] != "funcs":
+                    continue
+                receiver_fresh = (
+                    isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in fresh
+                )
+                if receiver_fresh:
+                    continue
+                for callee in resolved[1]:
+                    if (
+                        callee.cls in self.frozen
+                        and self.effects.get(callee.qualname) == "builds"
+                    ):
+                        findings.append(
+                            self._finding(
+                                fn,
+                                node,
+                                RULE_FROZEN_EXTERNAL,
+                                f"calls build-phase method {callee.qualname} "
+                                f"on a frozen instance outside its build phase",
+                                module,
+                            )
+                        )
+
+    # ------------------------------------------------------------------
+    # guarded classes: CCY104 / CCY105
+    # ------------------------------------------------------------------
+    def _check_guarded_class(
+        self,
+        cls: ClassInfo,
+        guard: tuple[str, tuple[str, ...]],
+        findings: list[Finding],
+    ) -> None:
+        lock, fields = guard
+        field_set = set(fields)
+        module = self.modules[cls.module]
+        for fn in cls.methods.values():
+            if fn.name in IMPLICIT_BUILDS:
+                continue
+            if self.effects.get(fn.qualname) == "builds":
+                continue
+            holds_by_contract = self.locked.get(fn.qualname) == lock
+            if not holds_by_contract:
+                for locus, owner, attr, held in self._mutations(fn):
+                    field = None
+                    if (
+                        attr is not None
+                        and isinstance(owner, ast.Name)
+                        and owner.id == "self"
+                        and attr in field_set
+                    ):
+                        field = attr
+                    elif attr is None:
+                        candidate = _self_attr(owner)
+                        if candidate in field_set:
+                            field = candidate
+                    if field is not None and lock not in held:
+                        findings.append(
+                            self._finding(
+                                fn,
+                                locus,
+                                RULE_GUARDED_FIELD,
+                                f"guarded field 'self.{field}' written outside "
+                                f"'with self.{lock}:'",
+                                module,
+                            )
+                        )
+            for node, held in _walk_with_locks(fn.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                ):
+                    continue
+                callee = cls.methods.get(node.func.attr)
+                if (
+                    callee is not None
+                    and self.locked.get(callee.qualname) == lock
+                    and lock not in held
+                    and not holds_by_contract
+                ):
+                    findings.append(
+                        self._finding(
+                            fn,
+                            node,
+                            RULE_LOCKED_CALL,
+                            f"calls @locked({lock!r}) method {callee.qualname} "
+                            f"without holding 'self.{lock}'",
+                            module,
+                        )
+                    )
+
+    # ------------------------------------------------------------------
+    # stale annotations: CCY106
+    # ------------------------------------------------------------------
+    def _assigned_attrs(self, cls: ClassInfo) -> set[str]:
+        """Every attribute the class plausibly has: class-body names,
+        ``__slots__`` entries, and ``self.x`` assignment targets."""
+        out: set[str] = set()
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                out.add(stmt.target.id)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    out.add(target.id)
+                    if target.id == "__slots__" and isinstance(
+                        stmt.value, (ast.Tuple, ast.List)
+                    ):
+                        out.update(
+                            e.value
+                            for e in stmt.value.elts
+                            if isinstance(e, ast.Constant)
+                            and isinstance(e.value, str)
+                        )
+        for fn in cls.methods.values():
+            for node in ast.walk(fn.node):
+                targets: list[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    attr = None
+                    if isinstance(target, ast.Attribute):
+                        attr = _self_attr(target)
+                    if attr is not None:
+                        out.add(attr)
+        return out
+
+    def _check_stale(
+        self,
+        cls: ClassInfo,
+        cells: dict[str, str] | None,
+        guard: tuple[str, tuple[str, ...]] | None,
+        findings: list[Finding],
+    ) -> None:
+        if cells is None and guard is None and not any(
+            self.locked.get(fn.qualname) for fn in cls.methods.values()
+        ):
+            return
+        module = self.modules[cls.module]
+        attrs = self._assigned_attrs(cls)
+        anchor = next(iter(cls.methods.values()), None)
+
+        def stale(line: int, col: int, message: str) -> None:
+            findings.append(
+                self._finding_at(
+                    cls, anchor, line, col, RULE_STALE, message, module
+                )
+            )
+
+        if cells is not None:
+            for cell, lock in sorted(cells.items()):
+                if cell not in attrs:
+                    stale(
+                        cls.node.lineno,
+                        cls.node.col_offset,
+                        f"declared memo cell {cell!r} is not an attribute "
+                        f"of {cls.qualname}",
+                    )
+                if lock not in attrs:
+                    stale(
+                        cls.node.lineno,
+                        cls.node.col_offset,
+                        f"lock {lock!r} declared for cell {cell!r} is not "
+                        f"an attribute of {cls.qualname}",
+                    )
+        if guard is not None:
+            lock, fields = guard
+            if lock not in attrs:
+                stale(
+                    cls.node.lineno,
+                    cls.node.col_offset,
+                    f"guarded_by lock {lock!r} is not an attribute of "
+                    f"{cls.qualname}",
+                )
+            for field in fields:
+                if field not in attrs:
+                    stale(
+                        cls.node.lineno,
+                        cls.node.col_offset,
+                        f"guarded field {field!r} is not an attribute of "
+                        f"{cls.qualname}",
+                    )
+        for fn in cls.methods.values():
+            lock = self.locked.get(fn.qualname)
+            if lock is not None and lock not in attrs:
+                stale(
+                    fn.node.lineno,
+                    fn.node.col_offset,
+                    f"@locked lock {lock!r} is not an attribute of "
+                    f"{cls.qualname}",
+                )
+
+    def _finding_at(
+        self,
+        cls: ClassInfo,
+        anchor: FuncInfo | None,
+        line: int,
+        col: int,
+        rule: str,
+        message: str,
+        module: ModuleInfo,
+    ) -> Finding:
+        waiver = module.waivers.get(line) or module.waivers.get(line - 1)
+        return Finding(
+            path=str(anchor.path if anchor is not None else module.path),
+            line=line,
+            col=col,
+            rule=rule,
+            function=cls.qualname,
+            message=message,
+            waived=waiver is not None,
+            waiver=waiver,
+        )
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def check_concurrency(paths: list[str | Path]) -> Report:
+    """Run the concurrency checker over files/directories."""
+    return ConcurrencyChecker(paths).run()

@@ -1,0 +1,67 @@
+"""Unified lint front-end: complexity + concurrency passes, one report.
+
+``repro lint`` (and ``python -m repro.contracts``) runs both static
+passes over the same tree and merges their findings into a single
+:class:`~repro.contracts.checker.Report` — one exit code, one JSON
+document with per-rule counts (``"rules"``), one waiver vocabulary.
+
+Exit codes follow the :mod:`repro.errors` convention: 0 clean, 1 on
+unwaived findings, 2 on usage errors (bad path, bad flags).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.contracts.checker import Report
+from repro.contracts.checker import check_paths as check_complexity
+from repro.contracts.concurrency import check_concurrency
+
+
+def run_lint(paths: list[str | Path]) -> Report:
+    """Run both passes and merge their findings into one report.
+
+    ``files_checked`` counts each file once; ``functions_checked`` sums
+    the contracted functions of the complexity pass and the effect- or
+    lock-annotated methods of the concurrency pass.
+    """
+    complexity = check_complexity(paths)
+    concurrency = check_concurrency(paths)
+    findings = sorted(
+        complexity.findings + concurrency.findings,
+        key=lambda f: (f.path, f.line, f.rule),
+    )
+    return Report(
+        findings=findings,
+        files_checked=complexity.files_checked,
+        functions_checked=(
+            complexity.functions_checked + concurrency.functions_checked
+        ),
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: ``python -m repro.contracts [paths...] [--format text|json]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.contracts",
+        description=(
+            "Statically check the paper's complexity contracts and the "
+            "serving layer's concurrency contracts"
+        ),
+    )
+    parser.add_argument("paths", nargs="*", default=None)
+    parser.add_argument("--format", choices=["text", "json"], default="text")
+    args = parser.parse_args(argv)
+    paths = args.paths
+    if not paths:
+        paths = [Path(__file__).resolve().parent.parent]  # the repro package
+    try:
+        report = run_lint(paths)
+    except FileNotFoundError as exc:
+        print(f"{parser.prog}: error: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.format == "json" else report.render_text())
+    return report.exit_code

@@ -26,9 +26,10 @@ past the cap the solver is naive regardless of size, which stays exact.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, insort
 
-from repro.contracts import amortized, pseudo_linear
+from repro.contracts import amortized, frozen_after_build, pseudo_linear, read_only
 from repro.core.local_eval import LocalEvaluator
 from repro.core.removal import RemovalResult, remove_vertex, rewrite_without_vertex
 from repro.graphs.colored_graph import ColoredGraph
@@ -42,6 +43,7 @@ DEFAULT_BAG_NAIVE_THRESHOLD = 220
 DEFAULT_MAX_REMOVAL_DEPTH = 12
 
 
+@frozen_after_build(cells={"_rewrites": "_memo_lock", "_test_cache": "_memo_lock", "_column_cache": "_memo_lock"})
 class BagSolver:
     """Lemma 5.2's machinery scoped to a single bag.
 
@@ -53,6 +55,10 @@ class BagSolver:
         Largest distance bound any query will mention (fixes the colors
         produced by the Removal Lemma once, at construction).
     """
+
+    #: Store lock for the memo cells declared in ``@frozen_after_build``;
+    #: class-level (shared down the child chain) so instances pickle.
+    _memo_lock = threading.Lock()
 
     @pseudo_linear(note="Steps 8-10: splitter choice + removal recursion")
     def __init__(
@@ -88,31 +94,36 @@ class BagSolver:
 
     # ------------------------------------------------------------------
     @property
+    @read_only
     def mode(self) -> str:
         """"naive" (Step-1 cutoff) or "splitter" (removal recursion)."""
         return self._mode
 
     @property
+    @read_only
     def removal_depth(self) -> int:
         """How many removal levels sit below this solver."""
         if self._mode == "naive":
             return 0
         return 1 + self.child.removal_depth
 
+    @read_only
     def _rewrite(self, psi: Formula, s_vars: frozenset[Var]) -> Formula:
         key = (psi, s_vars)
         cached = self._rewrites.get(key)
         if cached is None:
-            cached = rewrite_without_vertex(
+            fresh = rewrite_without_vertex(
                 psi, s_vars, self.graph, self._s, self._removal.color_prefix
             )
-            self._rewrites[key] = cached
+            with self._memo_lock:
+                cached = self._rewrites.setdefault(key, fresh)
         return cached
 
     # ------------------------------------------------------------------
     # testing (Step 11 / Corollary 2.4 inside the bag)
     # ------------------------------------------------------------------
     @amortized("O(1)", note="memoized per (psi, values); first query pays the walk")
+    @read_only
     def test(self, psi: Formula, free_order: tuple[Var, ...], values: tuple[int, ...]) -> bool:
         """Does the bag satisfy ``psi(values)``?  (Step 11 functionality.)"""
         if self._mode == "naive":
@@ -127,13 +138,15 @@ class BagSolver:
         reduced_order = tuple(v for v, val in zip(free_order, values) if val != s)
         reduced_values = tuple(self._removal.to_new[val] for val in values if val != s)
         result = self.child.test(rewritten, reduced_order, reduced_values)
-        self._test_cache[key] = result
+        with self._memo_lock:
+            result = self._test_cache.setdefault(key, result)
         return result
 
     # ------------------------------------------------------------------
     # last-coordinate search (Step 10 / the answering-phase candidates)
     # ------------------------------------------------------------------
     @amortized("O(1)", note="memoized per (psi, prefix); served by lookup after")
+    @read_only
     def column(
         self,
         psi: Formula,
@@ -170,10 +183,12 @@ class BagSolver:
         as_s = self._rewrite(psi, s_vars | {last_var})
         if self.child.test(as_s, reduced_order, reduced_values):
             insort(out, s)
-        self._column_cache[key] = out
+        with self._memo_lock:
+            out = self._column_cache.setdefault(key, out)
         return out
 
     @amortized("O(1)", note="binary search over the memoized column")
+    @read_only
     def first_at_least(
         self,
         psi: Formula,

@@ -21,7 +21,7 @@ through it (``R_i(a) ∧ R_j(b)`` with ``i+j <= r``), with the ``a = s_X`` /
 
 from __future__ import annotations
 
-from repro.contracts import constant_time, pseudo_linear
+from repro.contracts import builds, constant_time, frozen_after_build, pseudo_linear, read_only
 from repro.covers.neighborhood_cover import build_cover
 from repro.metrics.runtime import count as _metrics_count
 from repro.graphs.colored_graph import ColoredGraph
@@ -37,6 +37,7 @@ DEFAULT_NAIVE_THRESHOLD = 64
 DEFAULT_MAX_DEPTH = 3
 
 
+@frozen_after_build
 class DistanceIndex:
     """Tests ``dist(a, b) <= radius`` in constant time after preprocessing.
 
@@ -92,6 +93,7 @@ class DistanceIndex:
     # preprocessing
     # ------------------------------------------------------------------
     @pseudo_linear(note="Step 1 cutoff: bounded BFS per vertex, n bounded")
+    @builds
     def _build_naive(self) -> None:
         """Step 1: full result for small / edgeless graphs."""
         self._mode = "naive"
@@ -103,6 +105,7 @@ class DistanceIndex:
                 self._pairs[(a, b)] = d
 
     @pseudo_linear(note="Steps 2-5: cover + per-bag splitter recursion")
+    @builds
     def _build_recursive(self) -> None:
         self._mode = "cover"
         graph, r = self.graph, self.radius
@@ -148,6 +151,7 @@ class DistanceIndex:
     # query (Section 4.2.2)
     # ------------------------------------------------------------------
     @constant_time(note="Proposition 4.2 answering phase")
+    @read_only
     def test(self, a: int, b: int) -> bool:
         """Is ``dist(a, b) <= radius``?  Constant time."""
         _metrics_count("distance.test")
@@ -174,6 +178,7 @@ class DistanceIndex:
         return self._children[bag_id].test(translate[a], translate[b])
 
     @constant_time(note="graded refinement of Proposition 4.2")
+    @read_only
     def distance(self, a: int, b: int) -> int | None:
         """The exact distance when ``<= radius``, else None.  Constant time.
 
@@ -213,12 +218,14 @@ class DistanceIndex:
     # introspection
     # ------------------------------------------------------------------
     @property
+    @read_only
     def recursion_depth(self) -> int:
         """Maximum depth of splitter recursion (the measured λ of E5)."""
         if self._mode == "naive":
             return 0
         return 1 + max((c.recursion_depth for c in self._children), default=0)
 
+    @read_only
     def index_size(self) -> int:
         """Rough size of the index: stored pairs + per-bag tables."""
         if self._mode == "naive":
@@ -228,6 +235,7 @@ class DistanceIndex:
         total += sum(c.index_size() for c in self._children)
         return total
 
+    @read_only
     def __repr__(self) -> str:
         return (
             f"DistanceIndex(r={self.radius}, mode={self._mode}, n={self.graph.n})"

@@ -15,7 +15,7 @@ from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
 
 from repro.baselines.naive import NaiveIndex
-from repro.contracts import constant_time, delay, pseudo_linear
+from repro.contracts import constant_time, delay, frozen_after_build, pseudo_linear, read_only
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.enumeration import enumerate_solutions
 from repro.core.next_solution import NextSolutionIndex, increment_tuple
@@ -50,6 +50,7 @@ class Page:
         return len(self.items)
 
 
+@frozen_after_build
 @dataclass
 class QueryIndex:
     """A built index with the Theorem 2.3 / Corollaries 2.4-2.5 interface.
@@ -65,15 +66,17 @@ class QueryIndex:
     **Thread safety.** Once built, a ``QueryIndex`` is safe for any
     number of concurrent *reader* threads (``test`` / ``next_solution``
     / ``enumerate`` / ``enumerate_page`` / ``count``) without locks.
-    The query paths never mutate shared state except for *idempotent
-    memoization*: lazily-built bag solvers, cached sentence checks and
-    cached bag queries are pure functions of the immutable built
-    structure, and each cache fill is a single ``dict`` item assignment
-    (atomic under the GIL).  Racing readers can at worst duplicate work,
-    never observe a wrong or partially-built value — verified by
-    ``tests/core/test_concurrent_readers.py``.  Each ``enumerate``
-    iterator carries its own cursor state, so concurrent enumerations do
-    not interfere.
+    This is not prose: the class is ``@frozen_after_build`` and every
+    query entry point is ``@read_only``, so ``repro lint`` statically
+    rejects any write to reachable index state on the read path (rules
+    CCY101-CCY103; see ``docs/contracts.md``).  The only mutations left
+    are declared memo cells, filled under their store lock with
+    ``setdefault`` so racing readers at worst duplicate work, never
+    observe a wrong or partially-built value — exercised by
+    ``tests/core/test_concurrent_readers.py`` and enforced at runtime
+    under ``repro serve --paranoid``.  Each ``enumerate`` iterator
+    carries its own cursor state, so concurrent enumerations do not
+    interfere.
     """
 
     graph: ColoredGraph
@@ -84,16 +87,19 @@ class QueryIndex:
     _impl: object
 
     @property
+    @read_only
     def arity(self) -> int:
         """Number of free variables / output tuple width."""
         return len(self.free_order)
 
     @property
+    @read_only
     def exact_delay(self) -> bool:
         """Whether the constant-delay guarantee holds end to end."""
         return getattr(self._impl, "exact_delay", True)
 
     @constant_time(note="Corollary 2.4 via the chosen implementation")
+    @read_only
     def test(self, values: Sequence[int]) -> bool:
         """Corollary 2.4: constant-time membership testing.
 
@@ -115,6 +121,7 @@ class QueryIndex:
             return self._impl.test(probe)
 
     @constant_time(note="Theorem 2.3 via the chosen implementation")
+    @read_only
     def next_solution(self, start: Sequence[int]) -> tuple[int, ...] | None:
         """Theorem 2.3: smallest solution ``>= start`` (lexicographic).
 
@@ -135,6 +142,7 @@ class QueryIndex:
             return self._impl.next_solution(clamped)
 
     @delay("O(1)", note="Corollary 2.5; naive fallback materializes upfront")
+    @read_only
     def enumerate(
         self, start: Sequence[int] | None = None
     ) -> Iterator[tuple[int, ...]]:
@@ -152,6 +160,7 @@ class QueryIndex:
         )
 
     @delay("O(1)", note="Corollary 2.5 pagination: one next_solution call per item")
+    @read_only
     def enumerate_page(
         self, start: Sequence[int] | None = None, limit: int = 100
     ) -> Page:
@@ -198,6 +207,7 @@ class QueryIndex:
         # doubles as the resume point so the next page skips straight to it
         return Page(items, self.next_solution(cursor))
 
+    @read_only
     def count(self) -> int:
         """|phi(G)| by full enumeration (the paper cites [18] for faster).
 
@@ -208,6 +218,7 @@ class QueryIndex:
             return len(self._impl)
         return sum(1 for _ in self.enumerate())
 
+    @read_only
     def stats(self) -> dict:
         """Observability: what the preprocessing actually built.
 

@@ -33,9 +33,17 @@ The final answer is the minimum over all candidates, as in the paper.
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 
-from repro.contracts import amortized, constant_time, pseudo_linear
+from repro.contracts import (
+    amortized,
+    builds,
+    constant_time,
+    frozen_after_build,
+    pseudo_linear,
+    read_only,
+)
 from repro.core.bag_solver import BagSolver
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.distance_index import DistanceIndex
@@ -61,8 +69,13 @@ from repro.logic.syntax import (
 KERNEL_COLOR = "@K"
 
 
+@frozen_after_build(cells={"_solvers": "_memo_lock", "_sentence_cache": "_memo_lock", "_bag_query_cache": "_memo_lock", "_far_structures_cache": "_memo_lock"})
 class LastCoordinateIndex:
     """Lemma 5.2 for a fixed query; see the module docstring."""
+
+    #: Shared store lock for the memo cells declared in
+    #: ``@frozen_after_build``; class-level so instances stay picklable.
+    _memo_lock = threading.Lock()
 
     @pseudo_linear(note="Section 5.2.1 preprocessing, Steps 2-13")
     def __init__(
@@ -130,14 +143,17 @@ class LastCoordinateIndex:
     # lazy per-bag machinery
     # ------------------------------------------------------------------
     @amortized("O(1)", note="lazy per-bag build; cached thereafter (Steps 8-11)")
+    @read_only
     def _solver(self, bag_id: int) -> tuple[BagSolver, dict[int, int], list[int]]:
         entry = self._solvers.get(bag_id)
         if entry is None:
-            entry = self._build_solver(bag_id)
-            self._solvers[bag_id] = entry
+            built = self._build_solver(bag_id)
+            with self._memo_lock:
+                entry = self._solvers.setdefault(bag_id, built)
         return entry
 
     @pseudo_linear(note="Steps 8-11 for one bag")
+    @read_only
     def _build_solver(self, bag_id: int) -> tuple[BagSolver, dict[int, int], list[int]]:
         with _trace_span(
             "last.bag_solver", bag=bag_id, size=len(self.cover.bags[bag_id])
@@ -154,6 +170,7 @@ class LastCoordinateIndex:
             return (solver, to_new, original)
 
     @pseudo_linear(note="independent Steps 8-11 per bag, fanned out on threads")
+    @builds
     def _prebuild_solvers(self, workers: int) -> None:
         """Eagerly build the per-bag solvers concurrently (``workers > 1``).
 
@@ -177,16 +194,19 @@ class LastCoordinateIndex:
             self._solvers[bag_id] = entry
 
     @amortized("O(1)", note="one model check per distinct sentence, then cached")
+    @read_only
     def _sentence_true(self, sentence: Formula) -> bool:
         if isinstance(sentence, Top):
             return True
         cached = self._sentence_cache.get(sentence)
         if cached is None:
-            cached = model_check(self.graph, sentence, eps=self.config.eps)
-            self._sentence_cache[sentence] = cached
+            fresh = model_check(self.graph, sentence, eps=self.config.eps)
+            with self._memo_lock:
+                cached = self._sentence_cache.setdefault(sentence, fresh)
         return cached
 
     @amortized("O(1)", note="Steps 12-13 built once per psi; precomputable via config")
+    @read_only
     def _far_structures(self, psi: Formula) -> tuple[list[int], SkipPointers]:
         """Step 12 (the list ``L``) and Step 13 (skip pointers) for one
         singleton local formula ``psi(x_k)``."""
@@ -213,14 +233,15 @@ class LastCoordinateIndex:
                 k=max(self.k - 1, 1),
                 eps=self.config.eps,
             )
-            cached = (targets, skips)
-            self._far_structures_cache[psi] = cached
+            with self._memo_lock:
+                cached = self._far_structures_cache.setdefault(psi, (targets, skips))
         return cached
 
     # ------------------------------------------------------------------
     # bag queries (the paper's Ψ^i_{τ,J,p}, Step 7)
     # ------------------------------------------------------------------
     @amortized("O(1)", note="query built once per (alt, tau, J, p), then cached")
+    @read_only
     def _bag_query(
         self, alt: Alternative, tau: DistanceType, component: frozenset[int], p: int
     ) -> tuple[Formula, tuple[Var, ...]]:
@@ -246,13 +267,15 @@ class LastCoordinateIndex:
             prefix_vars.append(stranger)
             parts.append(Not(DistAtom(stranger, last_var, self.r)))
         result = (conjunction(parts), tuple(prefix_vars))
-        self._bag_query_cache[key] = result
+        with self._memo_lock:
+            result = self._bag_query_cache.setdefault(key, result)
         return result
 
     # ------------------------------------------------------------------
     # answering phase (Section 5.2.2)
     # ------------------------------------------------------------------
     @constant_time(note="Lemma 5.2: constantly many (tau, alt) candidates")
+    @read_only
     def first_last(self, prefix: tuple[int, ...], lower: int) -> int | None:
         """Smallest ``b' >= lower`` with ``G |= phi(prefix, b')``; None if none."""
         if len(prefix) != self.k - 1:
@@ -277,6 +300,7 @@ class LastCoordinateIndex:
         return best
 
     @constant_time(note="Corollary 2.4 via one first_last call")
+    @read_only
     def test(self, values: tuple[int, ...]) -> bool:
         """Corollary 2.4: is ``values`` a solution?  Constant time."""
         if len(values) != self.k:
@@ -285,6 +309,7 @@ class LastCoordinateIndex:
 
     # -- per-(tau, alternative) candidate ---------------------------------
     @constant_time(note="one candidate per (tau, alternative)")
+    @read_only
     def _candidate(
         self,
         tau: DistanceType,
@@ -308,6 +333,7 @@ class LastCoordinateIndex:
         return self._case_near(tau, alt, component_of_last, prefix, lower)
 
     @constant_time(note="one memoized bag test")
+    @read_only
     def _test_component(
         self, positions: frozenset[int], psi: Formula, prefix: tuple[int, ...]
     ) -> bool:
@@ -326,6 +352,7 @@ class LastCoordinateIndex:
         return solver.test(psi, variables, values)
 
     @constant_time(note="Case II: one kernel search in the j*-bag")
+    @read_only
     def _case_near(
         self,
         tau: DistanceType,
@@ -361,6 +388,7 @@ class LastCoordinateIndex:
         return None if found is None else to_old[found]
 
     @constant_time(note="Case I: 2k'+1 candidates (Section 5.2.2)")
+    @read_only
     def _case_far(
         self,
         tau: DistanceType,

@@ -20,18 +20,25 @@ Two layers of memoization keep repeated answering-phase queries cheap:
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 
+from repro.contracts import frozen_after_build, read_only
 from repro.graphs.colored_graph import ColoredGraph
 from repro.logic.semantics import DistanceCache, evaluate
 from repro.logic.syntax import And, Formula, Top, Var, conjunction
 from repro.logic.transform import free_variables
 
 
+@frozen_after_build(cells={"_test_cache": "_memo_lock", "_column_cache": "_memo_lock", "_unary_cache": "_memo_lock", "_free_cache": "_memo_lock"})
 class LocalEvaluator:
     """Naive-but-memoized FO+ evaluation on one (small) graph."""
 
     __slots__ = ("graph", "_dist", "_test_cache", "_column_cache", "_unary_cache", "_free_cache")
+
+    #: Store lock for the memo cells; a class attribute so it coexists
+    #: with ``__slots__`` and never lands in a pickle.
+    _memo_lock = threading.Lock()
 
     def __init__(self, graph: ColoredGraph) -> None:
         self.graph = graph
@@ -41,22 +48,26 @@ class LocalEvaluator:
         self._unary_cache: dict[tuple, list[int]] = {}
         self._free_cache: dict[Formula, frozenset[Var]] = {}
 
+    @read_only
     def _free(self, phi: Formula) -> frozenset[Var]:
         cached = self._free_cache.get(phi)
         if cached is None:
-            cached = free_variables(phi)
-            self._free_cache[phi] = cached
+            with self._memo_lock:
+                cached = self._free_cache.setdefault(phi, free_variables(phi))
         return cached
 
+    @read_only
     def test(self, phi: Formula, free_order: tuple[Var, ...], values: tuple[int, ...]) -> bool:
         """``graph |= phi(values)`` with memoization."""
         key = (phi, free_order, values)
         cached = self._test_cache.get(key)
         if cached is None:
-            cached = evaluate(self.graph, phi, dict(zip(free_order, values)), self._dist)
-            self._test_cache[key] = cached
+            fresh = evaluate(self.graph, phi, dict(zip(free_order, values)), self._dist)
+            with self._memo_lock:
+                cached = self._test_cache.setdefault(key, fresh)
         return cached
 
+    @read_only
     def unary_column(self, phi: Formula, var: Var) -> list[int]:
         """All ``b`` with ``graph |= phi(b)`` — cached per formula.
 
@@ -68,17 +79,19 @@ class LocalEvaluator:
         cached = self._unary_cache.get(key)
         if cached is None:
             if isinstance(phi, Top):
-                cached = list(self.graph.vertices())
+                fresh = list(self.graph.vertices())
             else:
                 assignment: dict[Var, int] = {}
-                cached = []
+                fresh = []
                 for b in self.graph.vertices():
                     assignment[var] = b
                     if evaluate(self.graph, phi, assignment, self._dist):
-                        cached.append(b)
-            self._unary_cache[key] = cached
+                        fresh.append(b)
+            with self._memo_lock:
+                cached = self._unary_cache.setdefault(key, fresh)
         return cached
 
+    @read_only
     def column(
         self,
         phi: Formula,
@@ -109,9 +122,11 @@ class LocalEvaluator:
                     out.append(b)
         else:
             out = list(base)
-        self._column_cache[key] = out
+        with self._memo_lock:
+            out = self._column_cache.setdefault(key, out)
         return out
 
+    @read_only
     def first_at_least(
         self,
         phi: Formula,

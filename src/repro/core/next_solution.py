@@ -20,7 +20,7 @@ The nested induction of Section 5 ("the first bullet"):
 
 from __future__ import annotations
 
-from repro.contracts import amortized, constant_time, pseudo_linear
+from repro.contracts import amortized, constant_time, frozen_after_build, pseudo_linear, read_only
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.last_coordinate import LastCoordinateIndex
 from repro.core.normal_form import DecompositionError
@@ -43,6 +43,7 @@ def increment_tuple(values: tuple[int, ...], n: int) -> tuple[int, ...] | None:
     return None
 
 
+@frozen_after_build
 class RelaxedPrefixIndex:
     """Prefix enumeration via a decomposable relaxation plus the oracle.
 
@@ -75,6 +76,7 @@ class RelaxedPrefixIndex:
         )
 
     @amortized("O(1)", note="filtered streaming: delay amortized over emitted prefixes")
+    @read_only
     def next_solution(self, start: tuple[int, ...]) -> tuple[int, ...] | None:
         """Smallest extendable prefix >= start."""
         candidate = self._inner.next_solution(tuple(start))
@@ -88,11 +90,13 @@ class RelaxedPrefixIndex:
         return None
 
     @property
+    @read_only
     def exact_delay(self) -> bool:
         """Filtered streaming: amortized, not worst-case, delay."""
         return False
 
 
+@frozen_after_build
 class PrefixScan:
     """Fallback prefix index: iterate candidates, testing extension in O(1).
 
@@ -107,6 +111,7 @@ class PrefixScan:
         self._arity = arity
 
     @amortized("O(1)", note="each step O(1); delay linear in extension-free runs")
+    @read_only
     def next_solution(self, start: tuple[int, ...]) -> tuple[int, ...] | None:
         """Scan prefixes from ``start``, each tested by one O(1) oracle call."""
         candidate: tuple[int, ...] | None = start
@@ -117,11 +122,13 @@ class PrefixScan:
         return None
 
     @property
+    @read_only
     def exact_delay(self) -> bool:
         """Prefix scanning only gives amortized delay."""
         return False
 
 
+@frozen_after_build
 class NextSolutionIndex:
     """Theorem 5.1 (and thus Theorem 2.3) for one query.
 
@@ -194,6 +201,7 @@ class NextSolutionIndex:
 
     # ------------------------------------------------------------------
     @property
+    @read_only
     def exact_delay(self) -> bool:
         """True when the constant-delay guarantee holds end to end."""
         if self.k <= 2:
@@ -201,6 +209,7 @@ class NextSolutionIndex:
         return getattr(self._prefix, "exact_delay", True)
 
     @constant_time(note="Theorem 5.1 lexicographically-next solution")
+    @read_only
     def next_solution(self, start: tuple[int, ...]) -> tuple[int, ...] | None:
         """Theorem 2.3: the smallest solution ``>= start``."""
         _metrics_count("next_solution.calls")
@@ -232,6 +241,7 @@ class NextSolutionIndex:
         return next_prefix + (found,)
 
     @constant_time(note="one prefix-index call; amortized in the fallback")
+    @read_only
     def _next_prefix(self, start: tuple[int, ...]) -> tuple[int, ...] | None:
         if self.k == 2:
             # contract: amortized — k=2 dispatches to the exact UnaryIndex branch
@@ -241,6 +251,7 @@ class NextSolutionIndex:
         return self._prefix.next_solution(start)
 
     @constant_time(note="Corollary 2.4 testing")
+    @read_only
     def test(self, values: tuple[int, ...]) -> bool:
         """Corollary 2.4: constant-time membership."""
         _metrics_count("next_solution.test")

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Collection, Sequence
 
-from repro.contracts import constant_time, pseudo_linear
+from repro.contracts import builds, constant_time, frozen_after_build, pseudo_linear, read_only
 from repro.storage.function_store import StoredFunction
 from repro.trace.runtime import span as _trace_span
 
@@ -32,6 +32,7 @@ from repro.trace.runtime import span as _trace_span
 _NULL = "null"
 
 
+@frozen_after_build
 class SkipPointers:
     """The Lemma 5.8 structure.
 
@@ -90,11 +91,13 @@ class SkipPointers:
     # preprocessing (Claim 5.10): b from largest to smallest
     # ------------------------------------------------------------------
     @constant_time(note="sorts at most k bag ids, k fixed")
+    @read_only
     def _key(self, b: int, bags: frozenset[int]) -> tuple[int, ...]:
         padded = sorted(bags) + [self._sentinel] * (self.k - len(bags))
         return (b, *padded)
 
     @pseudo_linear(note="Claim 5.10 sweep, b from largest to smallest")
+    @builds
     def _precompute(self) -> None:
         for b in range(self.n - 1, -1, -1):
             # seed SC(b) with singletons, then close under the SKIP rule
@@ -115,10 +118,12 @@ class SkipPointers:
     # Claim 5.9 resolution
     # ------------------------------------------------------------------
     @constant_time(note="at most k kernel membership probes")
+    @read_only
     def _in_some_kernel(self, v: int, bags: frozenset[int]) -> bool:
         return any(v in self._kernel_sets[x] for x in bags)
 
     @constant_time(note="Claim 5.9: constantly many hops")
+    @read_only
     def _resolve(self, b: int, bags: frozenset[int]) -> int | None:
         """Compute SKIP(b, bags) using stored pointers of vertices > b."""
         # Case 1: b itself qualifies.
@@ -140,6 +145,7 @@ class SkipPointers:
         return None if stored == _NULL else stored
 
     @constant_time(note="at most k growth steps, k fixed")
+    @read_only
     def _maximal_stored_subset(self, c: int, bags: frozenset[int]) -> frozenset[int]:
         """Greedily grow ``S' ⊆ bags`` with ``S' ∈ SC(c)`` until maximal,
         following exactly the Claim 5.9 argument."""
@@ -162,6 +168,7 @@ class SkipPointers:
     # queries
     # ------------------------------------------------------------------
     @constant_time(note="Lemma 5.8 SKIP query")
+    @read_only
     def skip(self, b: int, bags: Collection[int]) -> int | None:
         """``SKIP(b, bags)`` in constant time; ``bags`` has at most ``k`` ids."""
         bag_set = frozenset(bags)
@@ -172,6 +179,7 @@ class SkipPointers:
         return self._resolve(b, bag_set)
 
     @property
+    @read_only
     def stored_pointers(self) -> int:
         """Number of materialized (b, S) pairs — Claim 5.10's O(n^{1+k eps})."""
         return len(self._store)

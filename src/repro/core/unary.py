@@ -19,7 +19,7 @@ the arity-1 case of Theorem 5.1 needs.
 
 from __future__ import annotations
 
-from repro.contracts import constant_time, pseudo_linear
+from repro.contracts import constant_time, frozen_after_build, pseudo_linear, read_only
 from repro.core.bag_solver import BagSolver
 from repro.core.normal_form import DecompositionError, decompose
 from repro.covers.neighborhood_cover import build_cover
@@ -95,6 +95,7 @@ def unary_solutions(
     return out
 
 
+@frozen_after_build
 class UnaryIndex:
     """Constant-time next-solution for a unary query (Theorem 5.1, k=1)."""
 
@@ -121,6 +122,7 @@ class UnaryIndex:
                 self._store[(v,)] = True
 
     @constant_time(note="one stored-function successor query")
+    @read_only
     def next_solution(self, lower: int) -> int | None:
         """Smallest solution ``>= lower`` (None past the end)."""
         if self._store is None or lower >= self.graph.n:
@@ -129,10 +131,12 @@ class UnaryIndex:
         return None if key is None else key[0]
 
     @constant_time
+    @read_only
     def test(self, v: int) -> bool:
         """Constant-time membership."""
         return self._store is not None and (v,) in self._store
 
+    @read_only
     def __len__(self) -> int:
         return len(self.solutions)
 

@@ -26,9 +26,16 @@ X that is >= b") is served by a Theorem 3.1 :class:`StoredFunction` keyed
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Sequence
 
-from repro.contracts import amortized, constant_time, pseudo_linear
+from repro.contracts import (
+    amortized,
+    constant_time,
+    frozen_after_build,
+    pseudo_linear,
+    read_only,
+)
 from repro.graphs.colored_graph import ColoredGraph
 from repro.graphs.neighborhoods import bounded_bfs
 from repro.graphs.sparsity import degeneracy_order
@@ -37,11 +44,16 @@ from repro.storage.function_store import StoredFunction
 from repro.trace.runtime import span as _trace_span
 
 
+@frozen_after_build(cells={"_membership_store": "_memo_lock"})
 class NeighborhoodCover:
     """An (r, s)-neighborhood cover of a colored graph.
 
     Built via :func:`build_cover`; not meant to be constructed directly.
     """
+
+    #: Store lock for the lazily-built membership structure; class-level
+    #: so covers stay picklable.
+    _memo_lock = threading.Lock()
 
     @pseudo_linear(note="membership sets + per-bag assignment lists")
     def __init__(
@@ -79,26 +91,31 @@ class NeighborhoodCover:
 
     # ------------------------------------------------------------------
     @property
+    @read_only
     def num_bags(self) -> int:
         """``|X|`` — the number of bags."""
         return len(self.bags)
 
     @constant_time(note="one array read")
+    @read_only
     def bag_of(self, vertex: int) -> int:
         """The canonical bag id ``X(a)`` (fixed arbitrarily, as in the paper)."""
         return self.assignment[vertex]
 
     @constant_time
+    @read_only
     def center(self, bag_id: int) -> int:
         """``c_X``: a vertex with ``X ⊆ N_{2r}(c_X)``."""
         return self.centers[bag_id]
 
     @constant_time(note="one hash-set probe")
+    @read_only
     def contains(self, bag_id: int, vertex: int) -> bool:
         """Constant-time bag membership."""
         return vertex in self._member_sets[bag_id]
 
     @property
+    @read_only
     def _membership(self) -> StoredFunction:
         if self._membership_store is None:
             universe = max(self.graph.n, len(self.bags), 1)
@@ -106,10 +123,13 @@ class NeighborhoodCover:
             for bag_id, bag in enumerate(self.bags):
                 for vertex in bag:
                     store[(bag_id, vertex)] = True
-            self._membership_store = store
+            with self._memo_lock:
+                if self._membership_store is None:
+                    self._membership_store = store
         return self._membership_store
 
     @amortized("O(1)", note="f_X store built lazily on first ordered query")
+    @read_only
     def next_member(self, bag_id: int, vertex: int, strict: bool = False) -> int | None:
         """Smallest member of the bag that is ``>= vertex`` (``>`` if strict).
 
@@ -122,6 +142,7 @@ class NeighborhoodCover:
             return None
         return key[1]
 
+    @read_only
     def degree(self) -> int:
         """``δ(X)``: the maximum number of bags meeting at one vertex."""
         counts = [0] * self.graph.n
@@ -130,11 +151,13 @@ class NeighborhoodCover:
                 counts[vertex] += 1
         return max(counts, default=0)
 
+    @read_only
     def total_bag_size(self) -> int:
         """``Σ_X |X|`` — bounded by ``n^{1+eps}`` when the degree is ``n^eps``."""
         return sum(len(bag) for bag in self.bags)
 
     # ------------------------------------------------------------------
+    @read_only
     def check_properties(self) -> None:
         """Verify Definition 4.3 (tests only; costs a BFS per vertex)."""
         for a in self.graph.vertices():
@@ -153,6 +176,7 @@ class NeighborhoodCover:
                     f"bag {bag_id} leaves N_{self.bag_radius}(center); extra {sorted(outside)[:5]}"
                 )
 
+    @read_only
     def __repr__(self) -> str:
         return (
             f"NeighborhoodCover(r={self.radius}, s={self.bag_radius}, "

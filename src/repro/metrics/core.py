@@ -19,6 +19,8 @@ import threading
 import time
 from typing import Any
 
+from repro.contracts import guarded_by
+
 
 class Counter:
     """A named monotonically-increasing operation counter."""
@@ -202,6 +204,7 @@ class Histogram:
         return f"Histogram({self.name!r}, count={self.count})"
 
 
+@guarded_by("_create_lock", "counters", "timers", "histograms")
 class MetricsRegistry:
     """One measurement run's worth of counters, timers and histograms.
 

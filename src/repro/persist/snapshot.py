@@ -38,6 +38,7 @@ from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
+from repro.contracts import build_phase
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.engine import QueryIndex, build_index
 from repro.errors import ReproError
@@ -170,7 +171,11 @@ def load_index(
                 f"{expected_fingerprint[:12]}..."
             )
         try:
-            index = pickle.loads(payload)
+            # restoring slotted index classes goes through __setstate__'s
+            # setattr loop — that is build-phase work, so the paranoid
+            # freeze tripwire must see it as such
+            with build_phase():
+                index = pickle.loads(payload)
         except Exception as exc:  # pickle raises a zoo of types on bad bytes
             raise SnapshotCorrupted(
                 f"{path}: payload does not unpickle: {exc}"

@@ -38,6 +38,7 @@ from collections.abc import Callable, Sequence
 from pathlib import Path
 from typing import Any
 
+from repro.contracts import guarded_by, locked
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.engine import QueryIndex, build_index
 from repro.graphs.colored_graph import ColoredGraph
@@ -74,6 +75,7 @@ class TooManyBuilds(RuntimeError):
     """``max_in_flight_builds`` distinct keys are already preprocessing."""
 
 
+@guarded_by("_lock", "_entries", "_building", "stats")
 class IndexCache:
     """An LRU of built :class:`QueryIndex` objects keyed by fingerprint.
 
@@ -273,6 +275,7 @@ class IndexCache:
                 logger.warning("could not write snapshot for %s: %s", key[:12], exc)
         return index, "built"
 
+    @locked("_lock")
     def _insert(self, key: str, index: QueryIndex) -> None:
         """Publish into the LRU and evict; caller must hold ``self._lock``."""
         self._entries[key] = index

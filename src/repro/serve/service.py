@@ -32,6 +32,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
+from repro.contracts import guarded_by
 from repro.core.config import DEFAULT_CONFIG, EngineConfig
 from repro.core.engine import QueryIndex
 from repro.core.normal_form import DecompositionError
@@ -68,6 +69,7 @@ class ServiceUnavailable(ServeError):
     http_status = 503
 
 
+@guarded_by("_lock", "_entries")
 class GraphStore:
     """A small LRU of loaded graphs, each with its content digest.
 

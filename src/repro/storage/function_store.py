@@ -17,12 +17,13 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator
 from typing import Any
 
-from repro.contracts import constant_time, delay
+from repro.contracts import builds, constant_time, delay, frozen_after_build, read_only
 from repro.storage.trie import HIT, MISS, TrieStore
 
 Key = tuple[int, ...]
 
 
+@frozen_after_build
 class StoredFunction:
     """A mutable partial function ``[n]^k -> values`` with O(1) ordered lookups.
 
@@ -66,10 +67,12 @@ class StoredFunction:
 
     # ------------------------------------------------------------------
     @constant_time(note="k negations, k fixed")
+    @read_only
     def _complement(self, key: Key) -> Key:
         return tuple(self.n - 1 - x for x in key)
 
     @constant_time
+    @read_only
     def _as_key(self, key) -> Key:
         if isinstance(key, int):
             key = (key,)
@@ -79,12 +82,14 @@ class StoredFunction:
     # mutation
     # ------------------------------------------------------------------
     @delay("O(n^eps)", note="two trie inserts")
+    @builds
     def __setitem__(self, key, value: Any) -> None:
         key = self._as_key(key)
         self._primary.insert(key, value)
         self._dual.insert(self._complement(key), True)
 
     @delay("O(n^eps)", note="two trie removals")
+    @builds
     def __delitem__(self, key) -> None:
         key = self._as_key(key)
         self._primary.remove(key)
@@ -94,11 +99,13 @@ class StoredFunction:
     # queries (all constant time for fixed k, eps)
     # ------------------------------------------------------------------
     @constant_time(note="Theorem 3.1 lookup-or-successor")
+    @read_only
     def lookup(self, key) -> tuple[str, Any]:
         """The paper's lookup: ``(HIT, value)`` or ``(MISS, next key or None)``."""
         return self._primary.lookup(self._as_key(key))
 
     @constant_time
+    @read_only
     def __getitem__(self, key) -> Any:
         status, payload = self.lookup(key)
         if status == MISS:
@@ -106,21 +113,25 @@ class StoredFunction:
         return payload
 
     @constant_time
+    @read_only
     def get(self, key, default: Any = None) -> Any:
         """dict.get semantics over the stored function."""
         status, payload = self.lookup(key)
         return payload if status == HIT else default
 
     @constant_time
+    @read_only
     def __contains__(self, key) -> bool:
         return self.lookup(key)[0] == HIT
 
     @constant_time
+    @read_only
     def successor(self, key, strict: bool = False) -> Key | None:
         """Smallest stored key ``>= key`` (or ``> key`` if strict)."""
         return self._primary.successor(self._as_key(key), strict=strict)
 
     @constant_time(note="successor on the complemented dual (Section 7.2.2)")
+    @read_only
     def predecessor(self, key, strict: bool = True) -> Key | None:
         """Largest stored key ``< key`` (or ``<= key`` if not strict).
 
@@ -133,11 +144,13 @@ class StoredFunction:
         return self._complement(mirrored)
 
     @constant_time
+    @read_only
     def min_key(self) -> Key | None:
         """The smallest stored key (None when empty)."""
         return self._primary.min_key()
 
     @constant_time
+    @read_only
     def max_key(self) -> Key | None:
         """The largest stored key, via the dual structure."""
         mirrored = self._dual.min_key()
@@ -147,24 +160,29 @@ class StoredFunction:
     # iteration / accounting
     # ------------------------------------------------------------------
     @constant_time
+    @read_only
     def __len__(self) -> int:
         return len(self._primary)
 
     @delay("O(1)")
+    @read_only
     def items(self) -> Iterator[tuple[Key, Any]]:
         """(key, value) pairs in ascending key order, constant delay."""
         return self._primary.items()
 
     @delay("O(1)")
+    @read_only
     def keys(self) -> Iterator[Key]:
         """Stored keys in ascending order."""
         return self._primary.keys()
 
     @property
+    @read_only
     def registers_used(self) -> int:
         """Total registers across primary + dual (Theorem 3.1 space)."""
         return self._primary.registers_used + self._dual.registers_used
 
+    @read_only
     def check_invariants(self) -> None:
         """Exhaustive verification of both tries and their agreement."""
         self._primary.check_invariants()
@@ -174,5 +192,6 @@ class StoredFunction:
         if primary_keys != dual_keys:
             raise AssertionError("primary and dual tries disagree on the domain")
 
+    @read_only
     def __repr__(self) -> str:
         return f"StoredFunction(n={self.n}, k={self.k}, size={len(self)})"

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.contracts import constant_time
+from repro.contracts import builds, constant_time, frozen_after_build, read_only
 
 #: delta tag: the cell points to a child node's first register.
 CHILD = 1
@@ -22,6 +22,7 @@ GAP = 0
 PARENT = -1
 
 
+@frozen_after_build
 class RegisterFile:
     """A growable array of ``(delta, payload)`` registers.
 
@@ -40,13 +41,16 @@ class RegisterFile:
 
     # -- R_0 bookkeeping --------------------------------------------------
     @property
+    @read_only
     def next_free(self) -> int:
         return self._payload[0]
 
     @next_free.setter
+    @builds
     def next_free(self, value: int) -> None:
         self._payload[0] = value
 
+    @builds
     def allocate(self, count: int) -> int:
         """Reserve ``count`` consecutive registers, returning the first index."""
         base = self._payload[0]
@@ -58,27 +62,32 @@ class RegisterFile:
         self._payload[0] = needed
         return base
 
+    @builds
     def release_last(self, count: int) -> None:
         """Return the physically-last ``count`` registers to the free pool."""
         self._payload[0] -= count
 
     # -- cell access -------------------------------------------------------
     @constant_time(note="one RAM cell access — the primitive operation")
+    @read_only
     def read(self, index: int) -> tuple[int, Any]:
         """The (delta, payload) pair at ``index``."""
         return self._delta[index], self._payload[index]
 
     @constant_time(note="one RAM cell access — the primitive operation")
+    @builds
     def write(self, index: int, delta: int, payload: Any) -> None:
         """Overwrite the register at ``index``."""
         self._delta[index] = delta
         self._payload[index] = payload
 
     @property
+    @read_only
     def used(self) -> int:
         """Registers currently in use (the Theorem 3.1 space measure)."""
         return self._payload[0]
 
+    @read_only
     def dump(self, start: int = 0, stop: int | None = None) -> list[tuple[int, Any]]:
         """Snapshot of registers ``start..stop`` (for tests and Figure 1)."""
         if stop is None:

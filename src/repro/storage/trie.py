@@ -30,7 +30,7 @@ import math
 from collections.abc import Iterator
 from typing import Any
 
-from repro.contracts import constant_time, delay
+from repro.contracts import builds, constant_time, delay, frozen_after_build, read_only
 from repro.metrics.runtime import count as _metrics_count
 from repro.storage.registers import CHILD, GAP, PARENT, RegisterFile
 from repro.trace.runtime import span as _trace_span
@@ -40,6 +40,7 @@ HIT = "hit"
 MISS = "miss"
 
 
+@frozen_after_build
 class TrieStore:
     """Theorem 3.1's data structure for one fixed key order.
 
@@ -80,6 +81,7 @@ class TrieStore:
     # encoding (Algorithm 1, "Decomposition")
     # ------------------------------------------------------------------
     @constant_time(note="k*h digit extractions; k, h fixed")
+    @read_only
     def _encode(self, key: tuple[int, ...]) -> list[int]:
         """Base-``d`` digits of ``key``, most significant first per coordinate."""
         if len(key) != self.k:
@@ -96,6 +98,7 @@ class TrieStore:
         return digits
 
     @constant_time(note="k*h digit folds; k, h fixed")
+    @read_only
     def _decode(self, digits: list[int]) -> tuple[int, ...]:
         key = []
         for i in range(self.k):
@@ -107,6 +110,7 @@ class TrieStore:
 
     @staticmethod
     @constant_time(note="one pass over k*h digits")
+    @read_only
     def _increment(digits: list[int], d: int) -> list[int] | None:
         """The digit string following ``digits`` in base ``d``; None on overflow."""
         out = list(digits)
@@ -120,6 +124,7 @@ class TrieStore:
     # ------------------------------------------------------------------
     # node allocation
     # ------------------------------------------------------------------
+    @builds
     def _new_node(self, parent_cell: int | None) -> int:
         base = self.registers.allocate(self.d + 1)
         for j in range(self.d):
@@ -131,6 +136,7 @@ class TrieStore:
     # lookup (Algorithm 2, "Access")
     # ------------------------------------------------------------------
     @constant_time(note="Theorem 3.1 lookup-or-successor")
+    @read_only
     def lookup(self, key: tuple[int, ...]) -> tuple[str, Any]:
         """Constant-time lookup-or-successor.
 
@@ -142,6 +148,7 @@ class TrieStore:
         return self._lookup_digits(self._encode(key))
 
     @constant_time(note="one root-to-leaf walk of depth k*h")
+    @read_only
     def _lookup_digits(self, digits: list[int]) -> tuple[str, Any]:
         base = self._root
         last = self.depth - 1
@@ -155,16 +162,19 @@ class TrieStore:
         raise AssertionError("unreachable: trie walk fell through")  # pragma: no cover
 
     @constant_time
+    @read_only
     def get(self, key: tuple[int, ...], default: Any = None) -> Any:
         """dict.get semantics."""
         status, payload = self.lookup(key)
         return payload if status == HIT else default
 
     @constant_time
+    @read_only
     def __contains__(self, key: tuple[int, ...]) -> bool:
         return self.lookup(key)[0] == HIT
 
     @constant_time(note="Section 7.2.2: at most two trie walks")
+    @read_only
     def successor(self, key: tuple[int, ...], strict: bool = False) -> tuple[int, ...] | None:
         """Smallest stored key ``>= key`` (``> key`` when ``strict``).
 
@@ -189,6 +199,7 @@ class TrieStore:
     # predecessor (in-structure walk; O(d * k * h), used by updates)
     # ------------------------------------------------------------------
     @delay("O(n^eps)", note="in-structure walk; see predecessor() docstring")
+    @read_only
     def _predecessor(self, digits: list[int]) -> tuple[int, ...] | None:
         """Largest stored key strictly below ``digits``.
 
@@ -215,9 +226,11 @@ class TrieStore:
                     return self._rightmost(payload, t, prefix=self._trail_digits(trail, t) + [digit])
         return None
 
+    @read_only
     def _trail_digits(self, trail: list[tuple[int, int]], t: int) -> list[int]:
         return [digit for (_, digit) in trail[:t]]
 
+    @read_only
     def _rightmost(self, payload: Any, level: int, prefix: list[int]) -> tuple[int, ...]:
         """Descend to the largest key under the child reached at ``level``."""
         digits = list(prefix)
@@ -237,6 +250,7 @@ class TrieStore:
         return self._decode(digits)
 
     @delay("O(n^eps)", note="documented non-constant walk; dual structure gives O(1)")
+    @read_only
     def predecessor(self, key: tuple[int, ...], strict: bool = True) -> tuple[int, ...] | None:
         """Largest stored key ``< key`` (``<= key`` when ``strict=False``).
 
@@ -252,6 +266,7 @@ class TrieStore:
     # insertion (Algorithms 4/5, "Add"/"Insert", plus "Clean")
     # ------------------------------------------------------------------
     @delay("O(n^eps)", note="Theorem 3.1 update bound O(d*k*h)")
+    @builds
     def insert(self, key: tuple[int, ...], value: Any) -> bool:
         """Set ``f(key) = value``.  Returns True iff ``key`` is new."""
         _metrics_count("trie.insert")
@@ -268,12 +283,14 @@ class TrieStore:
         self._size += 1
         return True
 
+    @builds
     def _overwrite(self, digits: list[int], value: Any) -> None:
         base = self._root
         for digit in digits[:-1]:
             base = self.registers.read(base + digit)[1]
         self.registers.write(base + digits[-1], CHILD, value)
 
+    @builds
     def _insert_path(self, digits: list[int], value: Any) -> None:
         base = self._root
         last = self.depth - 1
@@ -292,6 +309,7 @@ class TrieStore:
     # removal (Algorithms 10/12, "Remove"/"Cut")
     # ------------------------------------------------------------------
     @delay("O(n^eps)", note="Theorem 3.1 update bound O(d*k*h)")
+    @builds
     def remove(self, key: tuple[int, ...]) -> Any:
         """Delete ``key``; returns its value.  Raises KeyError if absent."""
         _metrics_count("trie.remove")
@@ -311,12 +329,14 @@ class TrieStore:
         self._size -= 1
         return old_value
 
+    @read_only
     def _node_on_path(self, digits: list[int], level: int) -> int:
         base = self._root
         for t in range(level):
             base = self.registers.read(base + digits[t])[1]
         return base
 
+    @builds
     def _cut(self, node: int, node_depth: int, succ: tuple[int, ...] | None) -> None:
         """Free all-gap arrays bottom-up, compacting the register file."""
         while node_depth > 0:
@@ -330,6 +350,7 @@ class TrieStore:
             node = self._array_base(parent_cell)
             node_depth -= 1
 
+    @builds
     def _free_array(self, node: int, parent_cell: int) -> int:
         """Release array ``node``; returns ``parent_cell`` (remapped if moved)."""
         width = self.d + 1
@@ -354,6 +375,7 @@ class TrieStore:
         self.registers.release_last(width)
         return parent_cell
 
+    @read_only
     def _depth_of(self, node: int) -> int:
         """Depth of array ``node`` via its parent chain (O(d * k * h))."""
         depth = 0
@@ -364,6 +386,7 @@ class TrieStore:
             cell = self.registers.read(base + self.d)[1]
         return depth
 
+    @read_only
     def _array_base(self, cell: int) -> int:
         """The base register of the array containing register ``cell``."""
         index = cell
@@ -374,6 +397,7 @@ class TrieStore:
     # ------------------------------------------------------------------
     # gap maintenance (Algorithms 6-9, "Clean"/"Fill*")
     # ------------------------------------------------------------------
+    @builds
     def _fill_between(
         self,
         lo: list[int] | None,
@@ -408,6 +432,7 @@ class TrieStore:
             hi_child = self.registers.read(base + hi[t])[1]
             self._fill_left(hi_child, t + 1, hi, payload)
 
+    @builds
     def _fill_left(self, base: int, t: int, path: list[int], payload: Any) -> None:
         """Gap cells lexicographically before ``path`` within its subtree."""
         while True:
@@ -420,6 +445,7 @@ class TrieStore:
             base = self.registers.read(base + digit)[1]
             t += 1
 
+    @builds
     def _fill_right(self, base: int, t: int, path: list[int], payload: Any) -> None:
         """Gap cells lexicographically after ``path`` within its subtree."""
         while True:
@@ -435,15 +461,18 @@ class TrieStore:
     # ------------------------------------------------------------------
     # iteration / introspection
     # ------------------------------------------------------------------
+    @read_only
     def __len__(self) -> int:
         return self._size
 
     @constant_time
+    @read_only
     def min_key(self) -> tuple[int, ...] | None:
         """The smallest stored key (None when empty)."""
         return self.successor(tuple([0] * self.k))
 
     @delay("O(1)", note="each yielded item costs one successor walk")
+    @read_only
     def items(self) -> Iterator[tuple[tuple[int, ...], Any]]:
         """All (key, value) pairs in lexicographic key order.
 
@@ -457,12 +486,14 @@ class TrieStore:
             key = self.successor(key, strict=True)
 
     @delay("O(1)")
+    @read_only
     def keys(self) -> Iterator[tuple[int, ...]]:
         """Stored keys in ascending order."""
         for key, _ in self.items():
             yield key
 
     @property
+    @read_only
     def registers_used(self) -> int:
         """Space in registers (Theorem 3.1 bounds this by c * |Dom| * n^eps)."""
         return self.registers.used
@@ -470,6 +501,7 @@ class TrieStore:
     # ------------------------------------------------------------------
     # invariants (test support)
     # ------------------------------------------------------------------
+    @read_only
     def check_invariants(self) -> None:
         """Exhaustively verify the structure (tests only; linear time).
 
@@ -488,6 +520,7 @@ class TrieStore:
             raise AssertionError(f"size mismatch: {len(keys)} keys vs size={self._size}")
         self._check_node(self._root, [], keys)
 
+    @read_only
     def _collect_keys(self) -> list[tuple[int, ...]]:
         out = []
 
@@ -504,6 +537,7 @@ class TrieStore:
         walk(self._root, [], 0)
         return out
 
+    @read_only
     def _count_arrays(self) -> int:
         count = [0]
 
@@ -519,6 +553,7 @@ class TrieStore:
         walk(self._root, 0)
         return count[0]
 
+    @read_only
     def _check_node(self, base: int, prefix: list[int], keys: list[tuple[int, ...]]) -> None:
         import bisect
 
@@ -543,6 +578,7 @@ class TrieStore:
                         f"gap cell {cell_prefix} points to {payload}, expected {expected}"
                     )
 
+    @read_only
     def _prefix_upper_key(self, prefix: list[int]) -> tuple[int, ...]:
         """Smallest key (as a tuple) whose digit string is > every string
         with the given prefix — i.e. decode(prefix+1 padded with zeros)."""

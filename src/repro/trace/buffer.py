@@ -13,12 +13,14 @@ import threading
 from collections import OrderedDict
 from typing import Any
 
+from repro.contracts import guarded_by
 from repro.trace.core import Tracer
 
 #: Default number of traces retained.
 DEFAULT_CAPACITY = 64
 
 
+@guarded_by("_lock", "_traces")
 class TraceBuffer:
     """The last ``capacity`` traces, newest first, keyed by trace id."""
 

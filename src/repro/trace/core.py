@@ -20,6 +20,8 @@ import time
 import uuid
 from typing import Any
 
+from repro.contracts import guarded_by
+
 #: Default cap on spans kept per trace; beyond it spans are counted as
 #: dropped instead of stored (bounds a traced full enumeration).
 DEFAULT_MAX_SPANS = 10_000
@@ -104,6 +106,7 @@ class Span:
         )
 
 
+@guarded_by("_lock", "_spans", "dropped")
 class Tracer:
     """One trace: a thread-safe collector of finished spans.
 

@@ -32,6 +32,7 @@ import threading
 from statistics import median
 from typing import Any
 
+from repro.contracts import guarded_by
 from repro.metrics.runtime import count as _metrics_count
 from repro.trace.core import Span
 from repro.trace.logging import log_event
@@ -46,6 +47,7 @@ OPS_VIOLATION = "guarantee.ops_violation"
 STEP_SPAN = "enumerate.step"
 
 
+@guarded_by("_lock", "steps_seen", "violations", "_delay_samples", "_ops_samples", "budget_seconds", "ops_budget")
 class Watchdog:
     """Consumes enumeration-step spans; raises violation counters.
 

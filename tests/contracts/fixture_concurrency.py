@@ -1,0 +1,142 @@
+"""Seeded concurrency violations — the CCY pass's self-test subject.
+
+Never imported by the library; ``tests/contracts/test_concurrency.py``
+runs the checker over this file and asserts each rule fires at the
+marked line.  Keep the ``# CCY...`` markers in sync when editing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.contracts import (
+    builds,
+    frozen_after_build,
+    guarded_by,
+    locked,
+    read_only,
+)
+
+
+@frozen_after_build
+class LeakyIndex:
+    """Frozen, but its read path writes."""
+
+    def __init__(self, n: int) -> None:
+        self._table = list(range(n))
+        self._hits = 0
+
+    @read_only
+    def lookup(self, key: int) -> int:
+        self._hits += 1  # CCY101 fires here (setattr)
+        return self._table[key % len(self._table)]
+
+    @read_only
+    def lookup_and_log(self, key: int) -> int:
+        self._table.append(key)  # CCY101 fires here (in-place)
+        return key
+
+    @builds
+    def rebuild(self, n: int) -> None:
+        self._table = list(range(n))
+
+    @read_only
+    def refreshing_lookup(self, key: int) -> int:
+        self.rebuild(key)  # CCY102 fires here
+        return self._table[0]
+
+    @read_only
+    def waived_lookup(self, key: int) -> int:
+        # contract: single-writer phase before the server starts readers
+        self._hits += 1  # CCY101 fires here, but waived
+        return key
+
+
+@frozen_after_build(cells={"_memo": "_memo_lock"})
+class CellIndex:
+    """Frozen with a declared memo cell — fills must hold the lock."""
+
+    _memo_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self._memo: dict[int, int] = {}
+
+    @read_only
+    def cached_unlocked(self, key: int) -> int:
+        value = self._memo.get(key)
+        if value is None:
+            value = key * key
+            self._memo[key] = value  # CCY101 fires here (cell, no lock)
+        return value
+
+    @read_only
+    def cached_locked(self, key: int) -> int:
+        value = self._memo.get(key)
+        if value is None:
+            with self._memo_lock:
+                value = self._memo.setdefault(key, key * key)  # legal fill
+        return value
+
+    @read_only
+    def no_effect_sibling(self) -> int:
+        return 0
+
+    def forgot_the_effect(self) -> int:  # CCY107 fires here
+        return 1
+
+
+@frozen_after_build(cells={"_gone": "_memo_lock"})
+class StaleIndex:  # CCY106 fires here
+    """Declares a memo cell that no longer exists."""
+
+    _memo_lock = threading.Lock()
+
+    def __init__(self) -> None:
+        self._present = 0
+
+    @read_only
+    def peek(self) -> int:
+        return self._present
+
+
+def poke(index: LeakyIndex, value: int) -> None:
+    index._table = [value]  # CCY103 fires here (external setattr)
+
+
+def rebuild_in_place(index: LeakyIndex, n: int) -> None:
+    index.rebuild(n)  # CCY103 fires here (external builds call)
+
+
+def build_fresh(n: int) -> LeakyIndex:
+    fresh = LeakyIndex(n)
+    fresh.rebuild(n * 2)  # legal: receiver is construction-fresh
+    return fresh
+
+
+@guarded_by("_lock", "entries", "hits")
+class SharedTable:
+    """Lock-guarded mutable state, one write outside the lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.entries: dict[str, int] = {}
+        self.hits = 0
+
+    def put(self, key: str, value: int) -> None:
+        with self._lock:
+            self.entries[key] = value
+
+    def put_racy(self, key: str, value: int) -> None:
+        self.entries[key] = value  # CCY104 fires here
+
+    @locked("_lock")
+    def _evict_one(self) -> None:
+        if self.entries:
+            self.entries.pop(next(iter(self.entries)))
+
+    def trim(self) -> None:
+        with self._lock:
+            self._evict_one()
+
+    def trim_racy(self) -> None:
+        self._evict_one()  # CCY105 fires here

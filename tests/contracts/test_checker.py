@@ -108,9 +108,15 @@ class TestRealTree:
 class TestJsonReport:
     def test_shape(self):
         payload = json.loads(check_paths([FIXTURE]).to_json())
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["errors"] == 6
         assert payload["waived"] == 1
+        assert payload["rules"]["CTC001"]["errors"] >= 1
+        total = sum(
+            entry["errors"] + entry["waived"]
+            for entry in payload["rules"].values()
+        )
+        assert total == len(payload["findings"])
         finding = payload["findings"][0]
         for key in ("file", "line", "col", "rule", "title", "function",
                     "message", "severity", "waived"):

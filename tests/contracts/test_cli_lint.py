@@ -10,6 +10,7 @@ from pathlib import Path
 from repro.cli import main as cli_main
 
 FIXTURE = Path(__file__).parent / "fixture_violations.py"
+CCY_FIXTURE = Path(__file__).parent / "fixture_concurrency.py"
 SRC = Path(__file__).parent.parent.parent / "src" / "repro"
 
 
@@ -32,6 +33,26 @@ def test_lint_json_format(capsys):
     rules = {f["rule"] for f in payload["findings"]}
     assert {"CTC001", "CTC002", "CTC003", "PLC004"} <= rules
     assert payload["errors"] == 6
+
+
+def test_lint_merges_both_passes(capsys):
+    assert cli_main(["lint", str(FIXTURE), str(CCY_FIXTURE)]) == 1
+    out = capsys.readouterr().out
+    assert "CTC001" in out  # complexity pass
+    assert "CCY101" in out and "CCY104" in out  # concurrency pass
+
+
+def test_lint_json_has_per_rule_counts(capsys):
+    exit_code = cli_main(["lint", "--format", "json", str(CCY_FIXTURE)])
+    assert exit_code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 2
+    rules = payload["rules"]
+    for rule in ("CCY101", "CCY102", "CCY103", "CCY104",
+                 "CCY105", "CCY106", "CCY107"):
+        assert rule in rules, rules
+        assert rules[rule]["errors"] >= 1
+    assert rules["CCY101"]["waived"] == 1
 
 
 def test_lint_missing_path_is_an_error(capsys):
