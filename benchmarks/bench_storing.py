@@ -7,6 +7,11 @@ Claims under test:
 * lookup ``O(1)`` — the ``lookup`` group should be flat across ``n``;
 * update ``O(n^eps)`` — insert+remove cycles likewise.
 
+Every series runs on both storage layouts (``object`` — one Python node
+object per trie block — and ``arena`` — flat typed arrays, see
+``docs/storage.md``); the layout shows up as the first parametrize axis
+so report ids read ``test_lookup[object-1024]`` / ``test_lookup[arena-1024]``.
+
 (E2, the Figure 1 register layout, is verified bit-for-bit in
 ``tests/storage/test_figure1.py``.)
 """
@@ -16,6 +21,7 @@ import random
 import pytest
 
 SIZES = (2 ** 10, 2 ** 14, 2 ** 18)
+LAYOUTS = ("object", "arena")
 
 
 def _random_keys(n: int, k: int, count: int, seed: int = 0):
@@ -23,15 +29,20 @@ def _random_keys(n: int, k: int, count: int, seed: int = 0):
     return [tuple(rng.randrange(n) for _ in range(k)) for _ in range(count)]
 
 
+def _make_store(n: int, k: int, layout: str):
+    from repro.storage.arena import make_trie_store
+
+    return make_trie_store(n, k, 0.5, layout=layout)
+
+
 @pytest.mark.parametrize("n", SIZES)
 @pytest.mark.parametrize("k", [1, 2])
-def test_init(benchmark, n, k):
-    from repro.storage.trie import TrieStore
-
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_init(benchmark, layout, n, k):
     keys = _random_keys(n, k, 2000)
 
     def build():
-        store = TrieStore(n, k, eps=0.5)
+        store = _make_store(n, k, layout)
         for key in keys:
             store.insert(key, 0)
         return store
@@ -43,10 +54,9 @@ def test_init(benchmark, n, k):
 
 
 @pytest.mark.parametrize("n", SIZES)
-def test_lookup(benchmark, n):
-    from repro.storage.trie import TrieStore
-
-    store = TrieStore(n, 2, eps=0.5)
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_lookup(benchmark, layout, n):
+    store = _make_store(n, 2, layout)
     for key in _random_keys(n, 2, 2000):
         store.insert(key, 0)
     probes = _random_keys(n, 2, 512, seed=1)
@@ -60,10 +70,9 @@ def test_lookup(benchmark, n):
 
 
 @pytest.mark.parametrize("n", SIZES)
-def test_update_cycle(benchmark, n):
-    from repro.storage.trie import TrieStore
-
-    store = TrieStore(n, 1, eps=0.5)
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_update_cycle(benchmark, layout, n):
+    store = _make_store(n, 1, layout)
     for key in _random_keys(n, 1, 1000):
         store.insert(key, 0)
     cycle = _random_keys(n, 1, 128, seed=2)
@@ -79,11 +88,10 @@ def test_update_cycle(benchmark, n):
 
 
 @pytest.mark.parametrize("n", SIZES)
-def test_successor_scan(benchmark, n):
+@pytest.mark.parametrize("layout", LAYOUTS)
+def test_successor_scan(benchmark, layout, n):
     """Ordered iteration via successor hops — constant per hop."""
-    from repro.storage.trie import TrieStore
-
-    store = TrieStore(n, 1, eps=0.5)
+    store = _make_store(n, 1, layout)
     for key in _random_keys(n, 1, 1500):
         store.insert(key, 0)
 

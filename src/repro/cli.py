@@ -21,13 +21,13 @@ Commands
     and optionally write a Chrome trace-event file or JSONL spans.
 
 ``query FILE QUERY [--enumerate N] [--count] [--test a,b] [--next a,b]
-[--cache DIR] [--workers N]``
+[--cache DIR] [--workers N] [--layout L]``
     Build the Theorem 2.3 index over the graph in FILE and answer.  With
     ``--cache`` the index is served from (and saved to) a snapshot
     directory, so the pseudo-linear preprocessing is paid once across
     process invocations; see :mod:`repro.persist`.
 
-``warm GRAPH QUERY -o FILE [--workers N]``
+``warm GRAPH QUERY -o FILE [--workers N] [--layout L]``
     Run the preprocessing now and snapshot the built index to FILE, so a
     later ``query --cache`` (or :func:`repro.persist.load_index`) starts
     warm.
@@ -209,13 +209,19 @@ def _cmd_trace(args) -> int:
 
 def _engine_config(args):
     from repro.core.config import DEFAULT_CONFIG, EngineConfig
+    from repro.storage import resolve_layout
 
     workers = getattr(args, "workers", 1)
     if workers < 1:
         raise UsageError(f"--workers must be >= 1, got {workers}")
-    if workers == 1:
+    layout = getattr(args, "layout", "auto")
+    try:
+        resolve_layout(layout)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from exc
+    if workers == 1 and layout == "auto":
         return DEFAULT_CONFIG
-    return EngineConfig(workers=workers)
+    return EngineConfig(workers=workers, layout=layout)
 
 
 def _cmd_query(args) -> int:
@@ -454,6 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_cmd.add_argument("--enumerate", type=int, default=None, metavar="N")
     trace_cmd.add_argument("--workers", type=int, default=1, metavar="N",
                            help="threads for the per-bag preprocessing fan-out")
+    trace_cmd.add_argument("--layout", default="auto",
+                           choices=["auto", "object", "arena"],
+                           help="trie register layout (auto follows "
+                                "REPRO_STORAGE_LAYOUT)")
     trace_cmd.add_argument("-o", "--output", metavar="FILE", default=None,
                            help="write the trace to FILE instead of (only) "
                                 "printing the span tree")
@@ -476,6 +486,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve from (and save to) a snapshot cache directory")
     query.add_argument("--workers", type=int, default=1, metavar="N",
                        help="threads for the per-bag preprocessing fan-out")
+    query.add_argument("--layout", default="auto",
+                       choices=["auto", "object", "arena"],
+                       help="trie register layout (auto follows "
+                            "REPRO_STORAGE_LAYOUT)")
     query.set_defaults(func=_cmd_query)
 
     warm_cmd = commands.add_parser(
@@ -488,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=["auto", "indexed", "naive"])
     warm_cmd.add_argument("--workers", type=int, default=1, metavar="N",
                           help="threads for the per-bag preprocessing fan-out")
+    warm_cmd.add_argument("--layout", default="auto",
+                          choices=["auto", "object", "arena"],
+                          help="trie register layout (auto follows "
+                               "REPRO_STORAGE_LAYOUT)")
     warm_cmd.set_defaults(func=_cmd_warm)
 
     bench = commands.add_parser("bench", help="one-line timing summary")
@@ -517,6 +535,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="socket read timeout per request")
     serve.add_argument("--workers", type=int, default=1, metavar="N",
                        help="threads for the per-bag preprocessing fan-out")
+    serve.add_argument("--layout", default="auto",
+                       choices=["auto", "object", "arena"],
+                       help="trie register layout (auto follows "
+                            "REPRO_STORAGE_LAYOUT)")
     serve.add_argument("--trace-sample", type=float, default=0.0, metavar="P",
                        help="record a span tree for this fraction of requests "
                             "(X-Trace-Id requests are always recorded)")

@@ -62,6 +62,7 @@ class DynamicUnaryIndex:
         phi: Formula,
         var: Var,
         eps: float = 0.5,
+        layout: str | None = None,
     ) -> None:
         self.graph = graph
         self.var = var
@@ -72,12 +73,14 @@ class DynamicUnaryIndex:
                 f"dynamic maintenance needs a certified locality radius: {phi!r}"
             )
         self.radius = radius
-        self._store = StoredFunction(max(graph.n, 1), 1, eps=eps)
-        self._members: set[int] = set()
-        for v in graph.vertices():
-            if self._holds(v):
-                self._store[(v,)] = True
-                self._members.add(v)
+        self._members = {v for v in graph.vertices() if self._holds(v)}
+        self._store = StoredFunction(
+            max(graph.n, 1),
+            1,
+            eps=eps,
+            items=(((v,), True) for v in sorted(self._members)),
+            layout=layout,
+        )
 
     # ------------------------------------------------------------------
     def _holds(self, v: int) -> bool:

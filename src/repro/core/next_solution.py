@@ -161,7 +161,8 @@ class NextSolutionIndex:
                 return
             if self.k == 1:
                 self._unary = UnaryIndex(
-                    graph, phi, self.free_order[0], eps=config.eps
+                    graph, phi, self.free_order[0], eps=config.eps,
+                    layout=config.layout,
                 )
                 return
             self.last = LastCoordinateIndex(
@@ -180,6 +181,7 @@ class NextSolutionIndex:
                     self.free_order[0],
                     eps=config.eps,
                     solutions=solutions,
+                    layout=config.layout,
                 )
             elif decomposition is not None:
                 # a synthetic (relaxed) decomposition has no formula to project:

@@ -38,6 +38,7 @@ def unary_solutions(
     eps: float = 0.5,
     bag_threshold: int | None = None,
     on_error: str = "naive",
+    layout: str | None = None,
 ) -> list[int]:
     """All vertices satisfying the unary query ``phi(var)``, sorted.
 
@@ -61,7 +62,7 @@ def unary_solutions(
     if not alternatives:
         return []
     r = decomposition.radius
-    cover = build_cover(graph, r, eps=eps)
+    cover = build_cover(graph, r, eps=eps, layout=layout)
     solvers: dict[int, BagSolver] = {}
     bag_maps: dict[int, tuple] = {}
     component = frozenset((0,))
@@ -107,19 +108,26 @@ class UnaryIndex:
         var: Var,
         eps: float = 0.5,
         solutions: list[int] | None = None,
+        layout: str | None = None,
     ) -> None:
         self.graph = graph
         self.var = var
         if solutions is None:
             # propagate DecompositionError: the engine's method="auto" then
             # falls back to the naive baseline *visibly*
-            solutions = unary_solutions(graph, phi, var, eps=eps, on_error="raise")
+            solutions = unary_solutions(
+                graph, phi, var, eps=eps, on_error="raise", layout=layout
+            )
         self.solutions = solutions
         self._store: StoredFunction | None = None
         if graph.n > 0:
-            self._store = StoredFunction(graph.n, 1, eps=eps)
-            for v in solutions:
-                self._store[(v,)] = True
+            self._store = StoredFunction(
+                graph.n,
+                1,
+                eps=eps,
+                items=(((v,), True) for v in solutions),
+                layout=layout,
+            )
 
     @constant_time(note="one stored-function successor query")
     @read_only

@@ -65,6 +65,7 @@ class NeighborhoodCover:
         centers: list[int],
         assignment: list[int],
         eps: float,
+        layout: str | None = None,
     ) -> None:
         self.graph = graph
         self.radius = radius
@@ -73,6 +74,7 @@ class NeighborhoodCover:
         self.centers = centers  # bag id -> center c_X
         self.assignment = assignment  # vertex -> canonical bag id X(a)
         self.eps = eps
+        self.layout = layout
         # per-bag list of b with X(b) = X (Step 3 of Section 5.2.1)
         self.assigned: list[list[int]] = [[] for _ in bags]
         for vertex, bag_id in enumerate(assignment):
@@ -119,10 +121,17 @@ class NeighborhoodCover:
     def _membership(self) -> StoredFunction:
         if self._membership_store is None:
             universe = max(self.graph.n, len(self.bags), 1)
-            store = StoredFunction(universe, 2, eps=self.eps)
-            for bag_id, bag in enumerate(self.bags):
-                for vertex in bag:
-                    store[(bag_id, vertex)] = True
+            store = StoredFunction(
+                universe,
+                2,
+                eps=self.eps,
+                items=(
+                    ((bag_id, vertex), True)
+                    for bag_id, bag in enumerate(self.bags)
+                    for vertex in bag
+                ),
+                layout=self.layout,
+            )
             with self._memo_lock:
                 if self._membership_store is None:
                     self._membership_store = store
@@ -290,6 +299,7 @@ def build_cover(
     eps: float = 0.5,
     order: Sequence[int] | None = None,
     workers: int = 1,
+    layout: str | None = None,
 ) -> NeighborhoodCover:
     """Build an (r, 2r)-neighborhood cover greedily (Theorem 4.4).
 
@@ -309,6 +319,9 @@ def build_cover(
     workers:
         Thread count for the speculative BFS fan-out; ``1`` runs the
         plain sequential scan.  Both paths produce the identical cover.
+    layout:
+        Register layout for the membership index (see
+        :class:`~repro.core.config.EngineConfig`).
     """
     if radius < 0:
         raise ValueError(f"radius must be non-negative, got {radius}")
@@ -332,5 +345,5 @@ def build_cover(
         if sp is not None:
             sp.attributes["bags"] = len(bags)
         return NeighborhoodCover(
-            graph, radius, 2 * radius, bags, centers, assignment, eps
+            graph, radius, 2 * radius, bags, centers, assignment, eps, layout
         )

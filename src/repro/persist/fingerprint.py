@@ -16,10 +16,13 @@ match, so the fingerprint is a SHA-256 over:
 * the chosen build method (``indexed``/``naive``/``auto`` resolve to
   different implementations);
 * every :class:`~repro.core.config.EngineConfig` field **except**
-  ``workers`` — thresholds and exponents shape the built structure, but
-  ``workers`` only chooses the build strategy and is proven
-  output-equivalent by the parallel-equivalence tests, so a snapshot
-  warmed with ``workers=8`` serves a ``workers=1`` query;
+  ``workers`` and ``layout`` — thresholds and exponents shape the built
+  structure, but ``workers`` only chooses the build strategy (proven
+  output-equivalent by the parallel-equivalence tests) and ``layout``
+  only chooses the register representation (proven answer- and
+  order-identical by the storage differential suite), so a snapshot
+  warmed with ``workers=8, layout="arena"`` serves a
+  ``workers=1, layout="object"`` query;
 * the snapshot format version, so readers never parse a layout they do
   not understand.
 """
@@ -39,10 +42,12 @@ from repro.logic.syntax import Formula, Var
 #: Bump whenever the on-disk layout or the pickled object graph changes
 #: incompatibly; readers reject newer (and differently-fingerprinted
 #: older) snapshots and fall back to a rebuild.
-FORMAT_VERSION = 1
+#: v2: tries may pickle as flat-arena register files (compressed raw
+#: array buffers) and ``StoredFunction`` records its layout.
+FORMAT_VERSION = 2
 
 #: EngineConfig fields that do not affect the built structure.
-_BUILD_ONLY_FIELDS = frozenset({"workers"})
+_BUILD_ONLY_FIELDS = frozenset({"workers", "layout"})
 
 
 def graph_digest(graph: ColoredGraph) -> str:

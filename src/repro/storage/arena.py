@@ -1,0 +1,599 @@
+"""The flat-arena storage engine (Theorem 3.1 on typed arrays).
+
+The object layout (:mod:`repro.storage.registers`) models every register
+as a ``(delta, payload)`` pair inside two growable Python lists, with
+payloads boxed as arbitrary objects.  E1 shows ~24 registers per stored
+key at ``k=2``, so every Theorem 3.1 lookup chases dozens of heap
+pointers through list cells and tuple allocations.  This module keeps
+the exact register *semantics* but stores the file as a contiguous
+arena:
+
+* ``_delta`` — one signed byte per register (``CHILD``/``GAP``/``PARENT``);
+* ``_payload`` — one signed 64-bit word per register, tag-encoded:
+
+  ======  ===========================================================
+  low 2   meaning of ``word >> 2``
+  ======  ===========================================================
+  ``00``  ``None`` (the whole word is 0)
+  ``01``  an inline integer (child base, parent cell, int leaf value)
+  ``10``  index into the interned-object side table (gap successors)
+  ``11``  index into the side table (non-int leaf/parent payloads)
+  ======  ===========================================================
+
+* ``_objects`` — the side table: gap-successor tuples are interned with
+  reference counts (deduplicated, so the table holds one entry per
+  *distinct* successor, not one per gap cell), other non-int payloads
+  get a private slot each.
+
+The tag assignment is deliberate: every payload a ``CHILD`` cell can
+hold is **odd** and every payload a ``GAP`` cell can hold is **even**,
+so the hot lookup walk never touches ``_delta`` at all — one array read
+plus two bit operations per level decides "descend or return the gap's
+successor".  That, plus fusing the base-``d`` digit extraction into the
+descent, is where the measured >2x lookup/successor speedup over the
+object layout comes from (see ``docs/storage.md``).
+
+:class:`ArenaTrieStore` subclasses :class:`~repro.storage.trie.TrieStore`
+and *inherits every structural algorithm unchanged* (insert, remove,
+gap maintenance, compaction, invariant checking) — the arena register
+file is a bit-exact drop-in, which is what makes the two layouts
+register-level identical under the differential suite.  Only the
+constant-time read paths (``lookup``/``successor``) are overridden with
+fused walks over the raw arrays.
+
+Snapshots: :meth:`ArenaRegisterFile.__getstate__` pickles the raw array
+buffers (1 + 8 bytes per register instead of a boxed pair), so persisted
+indexes are several times smaller and the buffers are contiguous —
+ready for a future ``mmap``-shared serving path (see ROADMAP).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any
+
+from repro.contracts import (
+    builds,
+    constant_time,
+    frozen_after_build,
+    pseudo_linear,
+    read_only,
+)
+from repro.metrics.runtime import count as _metrics_count
+from repro.storage.registers import CHILD, GAP, PARENT, RegisterFile
+from repro.storage.trie import HIT, MISS, TrieStore
+
+#: Payload tag bits (low two bits of a payload word).
+_TAG_NONE = 0
+_TAG_INT = 1
+_TAG_SUCC = 2  # interned object, even class (gap cells)
+_TAG_OBJ = 3  # interned object, odd class (child/parent cells)
+
+#: Inline integers must survive ``(value << 2)`` inside a signed 64-bit
+#: word; anything bigger is interned like a non-int payload.
+_INLINE_MAX = (1 << 60) - 1
+_INLINE_MIN = -(1 << 60)
+
+
+@frozen_after_build
+class ArenaRegisterFile:
+    """A :class:`RegisterFile` drop-in backed by flat typed arrays.
+
+    Register 0 plays the same ``R_0`` role (next free register, stored
+    as an inline integer).  ``read``/``write``/``allocate``/
+    ``release_last``/``dump`` decode and encode transparently, so every
+    :class:`~repro.storage.trie.TrieStore` algorithm runs unmodified on
+    this layout and observes exactly the object layout's semantics.
+    """
+
+    __slots__ = ("_delta", "_payload", "_objects", "_refs", "_free", "_intern")
+
+    def __init__(self) -> None:
+        self._delta = array("b", (GAP,))
+        self._payload = array("q", ((1 << 2) | _TAG_INT,))  # R_0 <- 1
+        self._objects: list[Any] = [None]  # slot 0 reserved
+        self._refs: list[int] = [0]
+        self._free: list[int] = []
+        self._intern: dict[Any, int] = {}
+
+    # -- side table --------------------------------------------------------
+    # (the write-path helpers are @constant_time — one dict probe, one
+    # refcount edit — but never run on the lookup walk, so instrumented
+    # register-op counts per *lookup* stay 1:1 with the object layout)
+    @constant_time(note="one dict probe + one refcount edit")
+    @builds
+    def _intern_slot(self, value: Any) -> int:
+        """A live side-table slot holding ``value`` (refcounted, deduped)."""
+        try:
+            slot = self._intern.get(value)
+        except TypeError:  # unhashable payloads get a private slot
+            slot = None
+        else:
+            if slot is not None:
+                self._refs[slot] += 1
+                return slot
+        if self._free:
+            slot = self._free.pop()
+            self._objects[slot] = value
+            self._refs[slot] = 1
+        else:
+            slot = len(self._objects)
+            self._objects.append(value)
+            self._refs.append(1)
+        try:
+            self._intern[value] = slot
+        except TypeError:
+            pass
+        return slot
+
+    @constant_time(note="one refcount decrement, one dict removal at zero")
+    @builds
+    def _release_slot(self, slot: int) -> None:
+        self._refs[slot] -= 1
+        if self._refs[slot] == 0:
+            try:
+                del self._intern[self._objects[slot]]
+            except (TypeError, KeyError):
+                pass
+            self._objects[slot] = None
+            self._free.append(slot)
+
+    # -- payload codec -------------------------------------------------------
+    @constant_time(note="a type test, two bit ops, at most one interning")
+    @builds
+    def _encode(self, delta: int, payload: Any) -> int:
+        """Tag-encode ``payload`` for a cell carrying tag ``delta``.
+
+        Gap payloads land in the even tag class, child/parent payloads
+        in the odd one — the invariant the delta-free lookup walk needs.
+        """
+        if delta == GAP:
+            if payload is None:
+                return 0
+            return (self._intern_slot(payload) << 2) | _TAG_SUCC
+        if payload is None:
+            # Root parent pointers and stored-None leaf values map to the
+            # reserved side-table slot 0 (word 3: odd, so the walk still
+            # reads this cell as CHILD-class).  Slot 0 is never refcounted
+            # or freed.
+            return _TAG_OBJ
+        if type(payload) is int and _INLINE_MIN <= payload <= _INLINE_MAX:
+            return (payload << 2) | _TAG_INT
+        return (self._intern_slot(payload) << 2) | _TAG_OBJ
+
+    # -- R_0 bookkeeping --------------------------------------------------
+    @property
+    @read_only
+    def next_free(self) -> int:
+        return self._payload[0] >> 2
+
+    @next_free.setter
+    @builds
+    def next_free(self, value: int) -> None:
+        self._payload[0] = (value << 2) | _TAG_INT
+
+    @builds
+    def allocate(self, count: int) -> int:
+        """Reserve ``count`` consecutive registers, returning the first index."""
+        base = self._payload[0] >> 2
+        needed = base + count
+        if needed > len(self._delta):
+            extra = needed - len(self._delta)
+            self._delta.frombytes(bytes(extra))
+            self._payload.frombytes(bytes(8 * extra))
+        self._payload[0] = (needed << 2) | _TAG_INT
+        return base
+
+    @builds
+    def release_last(self, count: int) -> None:
+        """Return the physically-last ``count`` registers to the free pool.
+
+        Freed cells are reset to ``(GAP, None)`` and their interned
+        payloads released — same no-leak guarantee as the object layout.
+        """
+        base = (self._payload[0] >> 2) - count
+        for index in range(base, base + count):
+            word = self._payload[index]
+            if word & 2 and word >> 2:
+                self._release_slot(word >> 2)
+            self._delta[index] = GAP
+            self._payload[index] = 0
+        self._payload[0] = (base << 2) | _TAG_INT
+
+    # -- cell access -------------------------------------------------------
+    @constant_time(note="one RAM cell access — the primitive operation")
+    @read_only
+    def read(self, index: int) -> tuple[int, Any]:
+        """The (delta, payload) pair at ``index``, payload decoded.
+
+        The tag decode is inlined (not a helper call) so that one
+        instrumented register op per cell touch stays the rule on the
+        generic walk, exactly as in the object layout.
+        """
+        word = self._payload[index]
+        tag = word & 3
+        if tag == _TAG_INT:
+            return self._delta[index], word >> 2
+        if tag == _TAG_NONE:
+            return self._delta[index], None
+        return self._delta[index], self._objects[word >> 2]
+
+    @constant_time(note="one RAM cell access — the primitive operation")
+    @builds
+    def write(self, index: int, delta: int, payload: Any) -> None:
+        """Overwrite the register at ``index``."""
+        old = self._payload[index]
+        if old & 2 and old >> 2:
+            self._release_slot(old >> 2)
+        self._delta[index] = delta
+        self._payload[index] = self._encode(delta, payload)
+
+    @property
+    @read_only
+    def used(self) -> int:
+        """Registers currently in use (the Theorem 3.1 space measure)."""
+        return self._payload[0] >> 2
+
+    @read_only
+    def dump(self, start: int = 0, stop: int | None = None) -> list[tuple[int, Any]]:
+        """Snapshot of registers ``start..stop`` (decoded, so the dump is
+        comparable pair-for-pair with the object layout's)."""
+        if stop is None:
+            stop = self.used
+        return [self.read(i) for i in range(start, stop)]
+
+    # -- sizing / serialization -------------------------------------------
+    @property
+    @read_only
+    def nbytes(self) -> int:
+        """Bytes held by the two arena arrays (9 per allocated register)."""
+        return len(self._delta) * self._delta.itemsize + len(
+            self._payload
+        ) * self._payload.itemsize
+
+    @read_only
+    def __getstate__(self) -> dict[str, Any]:
+        # Raw buffers, not boxed cells.  Payload words are mostly small
+        # (tagged indexes), so their high bytes are zero and the arrays
+        # deflate to a fraction of both the raw buffer and the object
+        # layout's per-cell pickle stream; loading inflates them back
+        # into contiguous, mmap-shareable array buffers.  The dedup map
+        # is derived state — rebuilt on load.
+        import zlib
+
+        return {
+            "delta": zlib.compress(self._delta.tobytes(), 6),
+            "payload": zlib.compress(self._payload.tobytes(), 6),
+            "objects": self._objects,
+            "refs": zlib.compress(array("q", self._refs).tobytes(), 6),
+            "free": self._free,
+        }
+
+    @builds
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        import zlib
+
+        self._delta = array("b")
+        self._delta.frombytes(zlib.decompress(state["delta"]))
+        self._payload = array("q")
+        self._payload.frombytes(zlib.decompress(state["payload"]))
+        self._objects = state["objects"]
+        refs = array("q")
+        refs.frombytes(zlib.decompress(state["refs"]))
+        self._refs = refs.tolist()
+        self._free = state["free"]
+        free = set(self._free)
+        self._intern = {}
+        for slot, value in enumerate(self._objects):
+            if slot == 0 or slot in free:
+                continue
+            try:
+                self._intern[value] = slot
+            except TypeError:
+                pass
+
+    # -- introspection (tests) ----------------------------------------------
+    @read_only
+    def check_intern_invariants(self, live_cells: int) -> None:
+        """Audit the side table against the first ``live_cells`` registers.
+
+        Every interned slot's refcount must equal the number of live
+        cells that reference it, free slots must be empty, and the dedup
+        map must cover exactly the live hashable slots.
+        """
+        counted: dict[int, int] = {}
+        for index in range(live_cells):
+            word = self._payload[index]
+            if word & 2:
+                counted[word >> 2] = counted.get(word >> 2, 0) + 1
+        free = set(self._free)
+        for slot in range(1, len(self._objects)):
+            expected = counted.get(slot, 0)
+            if slot in free:
+                if expected:
+                    raise AssertionError(f"freed slot {slot} still referenced")
+                if self._objects[slot] is not None:
+                    raise AssertionError(f"freed slot {slot} keeps its payload")
+                continue
+            if self._refs[slot] != expected:
+                raise AssertionError(
+                    f"slot {slot} refcount {self._refs[slot]} != {expected} references"
+                )
+        for value, slot in self._intern.items():
+            if slot in free:
+                raise AssertionError(f"dedup map points at freed slot {slot}")
+            if self._objects[slot] is not value and self._objects[slot] != value:
+                raise AssertionError(f"dedup map disagrees with slot {slot}")
+
+
+@frozen_after_build
+class ArenaTrieStore(TrieStore):
+    """Theorem 3.1's trie on the flat arena layout.
+
+    Construction, updates, invariants and iteration are inherited from
+    :class:`TrieStore` — they run against :class:`ArenaRegisterFile`
+    through the same register API and produce register-level identical
+    structures.  ``lookup`` and ``successor`` are overridden with fused
+    walks that read one payload word per level.
+    """
+
+    __slots__ = ("_cells", "_side", "_pows_head")
+
+    def __init__(self, n: int, k: int, eps: float) -> None:
+        super().__init__(n, k, eps)
+        registers = self.registers
+        # direct handles for the fused walk (the arrays grow in place,
+        # so these stay valid across every update)
+        self._cells = registers._payload
+        self._side = registers._objects
+        self._pows_head = tuple(self.d ** (self.h - 1 - j) for j in range(self.h - 1))
+
+    @builds
+    def _make_registers(self) -> ArenaRegisterFile:
+        return ArenaRegisterFile()
+
+    # ------------------------------------------------------------------
+    # fused constant-time reads
+    # ------------------------------------------------------------------
+    @constant_time(note="Theorem 3.1 lookup-or-successor; one word per level")
+    @read_only
+    def _walk(self, key: tuple[int, ...]) -> tuple[str, Any]:
+        """The fused root-to-leaf walk: digit extraction happens inline
+        and the CHILD-odd/GAP-even payload invariant replaces the delta
+        reads, so each level costs one array access and two bit ops."""
+        if len(key) != self.k:
+            raise ValueError(f"expected a {self.k}-tuple, got {key!r}")
+        n = self.n
+        for c in key:  # whole-key validation first, like the object layout
+            if not 0 <= c < n:
+                raise ValueError(f"coordinate {c} out of range [0, {n})")
+        cells = self._cells
+        side = self._side
+        base = self._root
+        last_coordinate = self.k - 1
+        for index in range(self.k):
+            c = key[index]
+            for p in self._pows_head:
+                digit = c // p
+                c -= digit * p
+                word = cells[base + digit]
+                if word & 1:
+                    base = word >> 2
+                else:
+                    return (MISS, side[word >> 2]) if word else (MISS, None)
+            # the coordinate's last level: the divisor is 1, digit == c
+            word = cells[base + c]
+            if word & 1:
+                if index == last_coordinate:
+                    if word & 2:
+                        return (HIT, side[word >> 2])
+                    return (HIT, word >> 2)
+                base = word >> 2
+            else:
+                return (MISS, side[word >> 2]) if word else (MISS, None)
+        raise AssertionError("unreachable: arena walk fell through")  # pragma: no cover
+
+    @constant_time(note="Theorem 3.1 lookup-or-successor")
+    @read_only
+    def lookup(self, key: tuple[int, ...]) -> tuple[str, Any]:
+        """Constant-time lookup-or-successor (fused arena walk).
+
+        The walk body is duplicated from :meth:`_walk` on purpose: an
+        extra Python frame per call costs ~25% of the whole operation,
+        and this method *is* the Theorem 3.1 hot path.
+        """
+        _metrics_count("trie.lookup")
+        if len(key) != self.k:
+            raise ValueError(f"expected a {self.k}-tuple, got {key!r}")
+        n = self.n
+        for c in key:  # whole-key validation first, like the object layout
+            if not 0 <= c < n:
+                raise ValueError(f"coordinate {c} out of range [0, {n})")
+        cells = self._cells
+        side = self._side
+        pows = self._pows_head
+        base = self._root
+        last_coordinate = self.k - 1
+        for index, c in enumerate(key):
+            for p in pows:
+                digit = c // p
+                c -= digit * p
+                word = cells[base + digit]
+                if word & 1:
+                    base = word >> 2
+                else:
+                    return (MISS, side[word >> 2]) if word else (MISS, None)
+            word = cells[base + c]
+            if word & 1:
+                if index == last_coordinate:
+                    if word & 2:
+                        return (HIT, side[word >> 2])
+                    return (HIT, word >> 2)
+                base = word >> 2
+            else:
+                return (MISS, side[word >> 2]) if word else (MISS, None)
+        raise AssertionError("unreachable: arena walk fell through")  # pragma: no cover
+
+    @constant_time(note="Section 7.2.2: one fused walk on the (bumped) key")
+    @read_only
+    def successor(self, key: tuple[int, ...], strict: bool = False) -> tuple[int, ...] | None:
+        """Smallest stored key ``>= key`` (``> key`` when ``strict``).
+
+        The strict case walks from the next key in *tuple* order (carry
+        at ``n``) instead of the object layout's next *digit string*:
+        the digit strings strictly between the two encode no valid
+        keys, so both walks land in the same gap cell and read the same
+        stored successor.  Like :meth:`lookup`, the walk body is
+        inlined — this is the enumeration hot path.
+        """
+        _metrics_count("trie.successor")
+        if len(key) != self.k:
+            raise ValueError(f"expected a {self.k}-tuple, got {key!r}")
+        n = self.n
+        for c in key:  # whole-key validation first, like the object layout
+            if not 0 <= c < n:
+                raise ValueError(f"coordinate {c} out of range [0, {n})")
+        if strict:
+            bump = self.k - 1
+            while bump >= 0 and key[bump] + 1 >= n:
+                bump -= 1
+            if bump < 0:  # every coordinate carried: key was the maximum
+                return None
+            if bump == self.k - 1:
+                key = key[:bump] + (key[bump] + 1,)
+            else:
+                key = key[:bump] + (key[bump] + 1,) + (0,) * (self.k - 1 - bump)
+        cells = self._cells
+        side = self._side
+        pows = self._pows_head
+        base = self._root
+        last_coordinate = self.k - 1
+        for index, c in enumerate(key):
+            for p in pows:
+                digit = c // p
+                c -= digit * p
+                word = cells[base + digit]
+                if word & 1:
+                    base = word >> 2
+                else:
+                    return side[word >> 2] if word else None
+            word = cells[base + c]
+            if word & 1:
+                if index == last_coordinate:
+                    return key
+                base = word >> 2
+            else:
+                return side[word >> 2] if word else None
+        raise AssertionError("unreachable: arena walk fell through")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # invariants / sizing
+    # ------------------------------------------------------------------
+    @read_only
+    def check_invariants(self) -> None:
+        """Everything the object layout checks, plus the side table."""
+        super().check_invariants()
+        registers = self.registers
+        if self._cells is not registers._payload:
+            raise AssertionError("stale fused-walk handle on the payload arena")
+        if self._side is not registers._objects:
+            raise AssertionError("stale fused-walk handle on the side table")
+        registers.check_intern_invariants(registers.used)
+
+    @property
+    @read_only
+    def arena_nbytes(self) -> int:
+        """Raw arena bytes (excludes the interned-object side table)."""
+        return self.registers.nbytes
+
+    # ------------------------------------------------------------------
+    # pickling: __reduce__ rebuilds via __init__-free restore
+    # ------------------------------------------------------------------
+    @read_only
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "k": self.k,
+            "eps": self.eps,
+            "d": self.d,
+            "h": self.h,
+            "depth": self.depth,
+            "registers": self.registers,
+            "root": self._root,
+            "size": self._size,
+        }
+
+    @builds
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.n = state["n"]
+        self.k = state["k"]
+        self.eps = state["eps"]
+        self.d = state["d"]
+        self.h = state["h"]
+        self.depth = state["depth"]
+        self.registers = state["registers"]
+        self._root = state["root"]
+        self._size = state["size"]
+        self._cells = self.registers._payload
+        self._side = self.registers._objects
+        self._pows_head = tuple(self.d ** (self.h - 1 - j) for j in range(self.h - 1))
+
+
+# ----------------------------------------------------------------------
+# layout selection
+
+
+#: The storage layouts a trie can be built on.
+LAYOUTS = ("object", "arena")
+
+#: Layout used when neither the caller nor the environment picks one.
+DEFAULT_LAYOUT = "object"
+
+#: Environment override consulted by :func:`resolve_layout` for
+#: ``layout=None``/``"auto"`` — how CI runs the whole suite on one layout.
+LAYOUT_ENV_VAR = "REPRO_STORAGE_LAYOUT"
+
+
+def resolve_layout(layout: str | None = None) -> str:
+    """Normalize a layout request to ``"object"`` or ``"arena"``.
+
+    ``None`` and ``"auto"`` defer to the ``REPRO_STORAGE_LAYOUT``
+    environment variable, then to :data:`DEFAULT_LAYOUT`.  Anything else
+    must name a real layout.
+    """
+    import os
+
+    if layout is None or layout == "auto":
+        layout = os.environ.get(LAYOUT_ENV_VAR, "") or DEFAULT_LAYOUT
+    if layout not in LAYOUTS:
+        raise ValueError(
+            f"unknown storage layout {layout!r}: expected one of "
+            f"{LAYOUTS + ('auto',)}"
+        )
+    return layout
+
+
+@pseudo_linear(note="one trie construction")
+def make_trie_store(
+    n: int, k: int, eps: float, layout: str | None = None
+) -> TrieStore:
+    """Build a Theorem 3.1 trie on the requested layout.
+
+    The two layouts are register-level identical (same answers, same
+    enumeration order, same registers-used accounting) — the differential
+    suite in ``tests/storage/test_arena.py`` holds them to that.
+    """
+    if resolve_layout(layout) == "arena":
+        return ArenaTrieStore(n, k, eps)
+    return TrieStore(n, k, eps)
+
+
+__all__ = [
+    "ArenaRegisterFile",
+    "ArenaTrieStore",
+    "DEFAULT_LAYOUT",
+    "LAYOUTS",
+    "LAYOUT_ENV_VAR",
+    "make_trie_store",
+    "resolve_layout",
+]

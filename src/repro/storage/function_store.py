@@ -18,7 +18,8 @@ from collections.abc import Iterable, Iterator
 from typing import Any
 
 from repro.contracts import builds, constant_time, delay, frozen_after_build, read_only
-from repro.storage.trie import HIT, MISS, TrieStore
+from repro.storage.arena import make_trie_store, resolve_layout
+from repro.storage.trie import HIT, MISS
 
 Key = tuple[int, ...]
 
@@ -36,7 +37,15 @@ class StoredFunction:
     eps:
         Space/update exponent (Theorem 3.1's ``eps``).
     items:
-        Optional initial ``(key, value)`` pairs.
+        Optional initial ``(key, value)`` pairs; loaded through the
+        tries' batch bulk-load path (sort once, one construction pass)
+        instead of per-key inserts.
+    layout:
+        Register layout: ``"object"`` (the original list-of-pairs
+        oracle), ``"arena"`` (flat typed arrays, the fast path), or
+        ``None``/``"auto"`` to defer to ``REPRO_STORAGE_LAYOUT`` and
+        the default.  Both layouts give identical answers in identical
+        order — only the constants differ.
 
     Examples
     --------
@@ -49,7 +58,7 @@ class StoredFunction:
     (5,)
     """
 
-    __slots__ = ("_primary", "_dual", "n", "k")
+    __slots__ = ("_primary", "_dual", "n", "k", "layout")
 
     def __init__(
         self,
@@ -57,13 +66,19 @@ class StoredFunction:
         k: int,
         eps: float = 0.5,
         items: Iterable[tuple[Key, Any]] = (),
+        layout: str | None = None,
     ) -> None:
-        self._primary = TrieStore(n, k, eps)
-        self._dual = TrieStore(n, k, eps)
+        self.layout = resolve_layout(layout)
+        self._primary = make_trie_store(n, k, eps, self.layout)
+        self._dual = make_trie_store(n, k, eps, self.layout)
         self.n = n
         self.k = k
-        for key, value in items:
-            self[key] = value
+        pairs = [(self._as_key(key), value) for key, value in items]
+        if pairs:
+            self._primary.bulk_load(pairs)
+            self._dual.bulk_load(
+                (self._complement(key), True) for key, _ in pairs
+            )
 
     # ------------------------------------------------------------------
     @constant_time(note="k negations, k fixed")

@@ -64,8 +64,18 @@ class RegisterFile:
 
     @builds
     def release_last(self, count: int) -> None:
-        """Return the physically-last ``count`` registers to the free pool."""
-        self._payload[0] -= count
+        """Return the physically-last ``count`` registers to the free pool.
+
+        Freed cells are reset to ``(GAP, None)``: a register that has been
+        returned to the pool must not keep its old payload alive, or
+        remove-heavy workloads leak every value and successor tuple that
+        ever passed through the high end of the file.
+        """
+        base = self._payload[0] - count
+        for index in range(base, base + count):
+            self._delta[index] = GAP
+            self._payload[index] = None
+        self._payload[0] = base
 
     # -- cell access -------------------------------------------------------
     @constant_time(note="one RAM cell access — the primitive operation")

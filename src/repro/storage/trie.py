@@ -27,10 +27,17 @@ Complexities for fixed ``k`` and ``eps`` (Theorem 3.1): lookup ``O(k*h)``
 from __future__ import annotations
 
 import math
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 from typing import Any
 
-from repro.contracts import builds, constant_time, delay, frozen_after_build, read_only
+from repro.contracts import (
+    builds,
+    constant_time,
+    delay,
+    frozen_after_build,
+    pseudo_linear,
+    read_only,
+)
 from repro.metrics.runtime import count as _metrics_count
 from repro.storage.registers import CHILD, GAP, PARENT, RegisterFile
 from repro.trace.runtime import span as _trace_span
@@ -67,15 +74,24 @@ class TrieStore:
         self.n = n
         self.k = k
         self.eps = eps
-        self.d = max(2, math.ceil(n ** eps)) if n > 1 else 1
+        # d >= 2 always: a degenerate one-cell fanout (n=1 used to yield
+        # d=1) makes _increment overflow on every call and leaves the
+        # _fill_* walks with nothing to skip over, so the universe of a
+        # single key still gets the ordinary two-way branching.
+        self.d = max(2, math.ceil(n ** eps))
         self.h = max(1, math.ceil(1 / eps))
         while self.d ** self.h < n:  # guard against float rounding in n**eps
             self.h += 1
         self.depth = k * self.h  # number of branching levels
         with _trace_span("trie.create", n=n, k=k, d=self.d, h=self.h):
-            self.registers = RegisterFile()
+            self.registers = self._make_registers()
             self._root = self._new_node(parent_cell=None)
             self._size = 0
+
+    @builds
+    def _make_registers(self) -> RegisterFile:
+        """The backing register file; the arena layout overrides this."""
+        return RegisterFile()
 
     # ------------------------------------------------------------------
     # encoding (Algorithm 1, "Decomposition")
@@ -304,6 +320,82 @@ class TrieStore:
                 payload = self._new_node(parent_cell=cell)
                 self.registers.write(cell, CHILD, payload)
             base = payload
+
+    # ------------------------------------------------------------------
+    # bulk load (preprocessing fast path)
+    # ------------------------------------------------------------------
+    @pseudo_linear(note="sort once, then one sorted pass + one gap-fill pass")
+    @builds
+    def bulk_load(self, items: Iterable[tuple[tuple[int, ...], Any]]) -> int:
+        """Build the whole structure from ``(key, value)`` pairs at once.
+
+        Much cheaper than repeated :meth:`insert`: keys are sorted once,
+        paths are materialized left to right reusing the shared prefix
+        with the previous key, and every gap cell is pointed at its
+        successor in a single reverse-lexicographic pass — so the
+        ``O(d*k*h)`` per-insert gap maintenance is paid once per *node*
+        instead of once per *key*.  Duplicate keys keep the last value
+        (dict semantics).  Requires an empty store; returns the number of
+        keys loaded.
+        """
+        if self._size:
+            raise ValueError("bulk_load requires an empty store")
+        unique: dict[tuple[int, ...], Any] = {}
+        for key, value in items:
+            unique[tuple(key)] = value
+        ordered = sorted(unique.items())
+        last = self.depth - 1
+        # stack[t] = base register of the node at level t on the current path
+        stack = [self._root] + [0] * last
+        previous: list[int] | None = None
+        for key, value in ordered:
+            digits = self._encode(key)
+            start = 0
+            if previous is not None:
+                while start < last and digits[start] == previous[start]:
+                    start += 1
+            base = stack[start]
+            for t in range(start, self.depth):
+                cell = base + digits[t]
+                if t == last:
+                    self.registers.write(cell, CHILD, value)
+                    break
+                delta, payload = self.registers.read(cell)
+                if delta == GAP:
+                    payload = self._new_node(parent_cell=cell)
+                    self.registers.write(cell, CHILD, payload)
+                base = payload
+                stack[t + 1] = base
+            previous = digits
+        self._size = len(ordered)
+        self._fill_all_gaps()
+        return self._size
+
+    @builds
+    def _fill_all_gaps(self) -> None:
+        """Point every gap cell at its successor in one reverse-order pass."""
+        last = self.depth - 1
+        next_key: tuple[int, ...] | None = None
+        prefix: list[int] = []
+
+        def walk(base: int, t: int) -> None:
+            nonlocal next_key
+            for digit in range(self.d - 1, -1, -1):
+                cell = base + digit
+                delta, payload = self.registers.read(cell)
+                if delta == CHILD:
+                    if t == last:
+                        prefix.append(digit)
+                        next_key = self._decode(prefix)
+                        prefix.pop()
+                    else:
+                        prefix.append(digit)
+                        walk(payload, t + 1)
+                        prefix.pop()
+                else:
+                    self.registers.write(cell, GAP, next_key)
+
+        walk(self._root, 0)
 
     # ------------------------------------------------------------------
     # removal (Algorithms 10/12, "Remove"/"Cut")

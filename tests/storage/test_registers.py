@@ -39,6 +39,22 @@ def test_release_last_reclaims_space():
     assert registers.allocate(4) == 5
 
 
+def test_release_last_clears_freed_cells():
+    """Regression: released registers must drop their payloads.
+
+    Before the fix, ``release_last`` only moved ``next_free`` back, so
+    every value and successor tuple that ever sat at the high end of the
+    file stayed alive through the free pool — a leak on remove-heavy
+    workloads.
+    """
+    registers = RegisterFile()
+    base = registers.allocate(2)
+    registers.write(base, CHILD, "value")
+    registers.write(base + 1, GAP, (1,))
+    registers.release_last(2)
+    assert registers.dump(base, base + 2) == [(GAP, None), (GAP, None)]
+
+
 def test_dump_reflects_used_registers():
     registers = RegisterFile()
     base = registers.allocate(2)
