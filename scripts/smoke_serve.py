@@ -21,7 +21,15 @@ With ``--paranoid`` the server runs under the runtime freeze tripwire
 the guard is inert on the whole serving read path under concurrent
 load — the dynamic counterpart of the static CCY pass.
 
-Run from the repo root: ``python scripts/smoke_serve.py [--paranoid]``.
+With ``--pool N`` the script instead smokes the pre-fork pool: it warms
+an arena snapshot, starts ``repro serve --pool-workers N``, and asserts
+the preloaded index serves the very first request from the shared-memory
+copy, concurrent clients agree with the oracle through the router, the
+batch endpoint is position-exact, ``/v1/stats`` aggregates the pool and
+per-worker blocks, and SIGINT tears the whole process family down.
+
+Run from the repo root:
+``python scripts/smoke_serve.py [--paranoid] [--pool N]``.
 """
 
 from __future__ import annotations
@@ -82,13 +90,118 @@ def start_server(extra_args: list[str] | None = None) -> tuple[subprocess.Popen,
     return proc, f"http://{match.group(1)}:{match.group(2)}"
 
 
+def run_pool(workers: int) -> int:
+    """The pre-fork leg: warm snapshot, pooled server, concurrent oracle."""
+    import tempfile
+
+    from repro.core.config import EngineConfig
+    from repro.graphs.generators import FAMILIES
+    from repro.persist import cache_path, index_fingerprint, save_index
+
+    n, seed, query = 120, 9, "E(x, y)"
+    graph = FAMILIES["grid"](n, seed=seed)
+    oracle = build_index(graph, query)
+    solutions = list(oracle.enumerate())
+    spec = family_spec("grid", n, seed=seed)
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-pool-") as tmp:
+        warm = build_index(graph, query, config=EngineConfig(layout="arena"))
+        fingerprint = index_fingerprint(graph, query)
+        save_index(warm, cache_path(tmp, fingerprint), fingerprint)
+        proc, url = start_server([
+            "--snapshot-dir", tmp,
+            "--pool-workers", str(workers),
+            "--shards", str(2 * workers),
+        ])
+        print(f"pool up at {url} ({workers} workers); "
+              f"oracle has {len(solutions)} solutions")
+        try:
+            client = ServiceClient(url, timeout=120.0)
+            check(client.health(), "pool /healthz answers")
+
+            # --- preloaded snapshot: warm from request one ------------
+            check(
+                client.test(spec, query, solutions[0]) is True,
+                "pool test on a solution",
+            )
+            check(
+                client.last_index_meta["status"] == "hit",
+                "preloaded snapshot serves the first request warm",
+            )
+            check(
+                client.next_solution(spec, query, (0, 0))
+                == oracle.next_solution((0, 0)),
+                "pool next_solution matches oracle",
+            )
+            calls = [("test", s) for s in solutions[:4]] + [("next", (0, 0))]
+            check(
+                client.batch(spec, query, calls)
+                == [True] * 4 + [oracle.next_solution((0, 0))],
+                "pool batch is position-exact against the oracle",
+            )
+
+            # --- concurrent clients through the router ----------------
+            def hammer(worker: int) -> bool:
+                mine = ServiceClient(url, timeout=120.0)
+                good = mine.count(spec, query) == len(solutions)
+                probe = solutions[worker % len(solutions)]
+                return good and mine.test(spec, query, probe) is True
+
+            with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+                agreed = list(pool.map(hammer, range(CLIENTS)))
+            check(all(agreed), f"{CLIENTS} concurrent clients agree via the pool")
+
+            # --- aggregated stats + worker attribution ----------------
+            stats = client.stats()
+            check(stats["pool"]["workers"] == workers, "stats reports worker count")
+            check(
+                stats["pool"]["preloaded"] == 1,
+                "stats reports the preloaded snapshot",
+            )
+            check(
+                stats["pool"]["shared_arena_bytes"] > 0,
+                "arena re-homed into shared memory before fork",
+            )
+            check(
+                len(stats["workers"]) == workers,
+                "per-worker stats blocks present",
+            )
+            body = json.dumps({**spec, "query": query, "tuple": [0, 0]}).encode()
+            request = Request(
+                url + "/v1/test", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urlopen(request, timeout=60) as response:
+                check(
+                    response.headers.get("X-Repro-Worker") is not None,
+                    "responses carry X-Repro-Worker",
+                )
+        finally:
+            proc.send_signal(signal.SIGINT)
+            try:
+                code = proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                print("FAIL: pool did not shut down on SIGINT", file=sys.stderr)
+                return 1
+    check(code == 0, "pool exited 0 on SIGINT")
+    print(f"smoke_serve: all {_checks} checks passed (pool {workers})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     import argparse
 
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--paranoid", action="store_true",
                         help="run the server with the freeze tripwire installed")
+    parser.add_argument("--pool", type=int, default=0, metavar="N",
+                        help="smoke the pre-fork pool with N workers instead")
     args = parser.parse_args(argv)
+    if args.pool:
+        if not hasattr(os, "fork"):
+            print("smoke_serve: --pool needs os.fork; skipping")
+            return 0
+        return run_pool(args.pool)
     oracle = build_index(random_tree(48, seed=9), QUERY)
     solutions = list(oracle.enumerate())
     proc, url = start_server(["--paranoid"] if args.paranoid else None)

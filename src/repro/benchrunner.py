@@ -1,6 +1,6 @@
 """Self-contained benchmark-suite runner for the paper's experiments.
 
-``repro bench-suite`` executes the E1-E14 sweeps directly — no
+``repro bench-suite`` executes the E1-E16 sweeps directly — no
 pytest-benchmark, no plugins — and writes one schema-validated JSON
 document (see :mod:`repro.bench_schema`) that the existing
 :mod:`repro.reporting` pipeline renders into EXPERIMENTS.md unchanged:
@@ -55,7 +55,7 @@ DEFAULT_OUTPUT = "BENCH_results.json"
 #: The experiments a plain ``repro bench-suite`` run covers, in run order.
 ALL_EXPERIMENTS = (
     "E1", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-    "E10", "E11", "E12", "E13", "E14", "E15",
+    "E10", "E11", "E12", "E13", "E14", "E15", "E16",
 )
 
 #: Extra series only the full profile runs by default (knob ablations).
@@ -824,6 +824,294 @@ class BenchSuite:
                 },
             )
 
+    # -- E16: pre-fork pool serving (throughput / latency / sharing) ----
+
+    def run_e16(self) -> None:
+        """Pooled serving: throughput scaling, tail latency, page sharing.
+
+        Spawns real ``repro serve`` subprocesses against one pre-warmed
+        arena snapshot: a single-process baseline, then pre-fork pools of
+        1/2/4 workers (``--shards`` at 2x).  Three gated claims ride on
+        the records:
+
+        * ``speedup_over_floor`` — pooled throughput must clear a
+          machine-aware floor (0.5x per usable core; a 1-core runner can
+          only ask the router hop to cost less than 55%);
+        * ``p99_headroom`` — open-loop p99 per-answer delay must stay
+          within a watchdog-style budget (the watchdog's own multiple
+          over its self-calibrated median);
+        * ``pss_over_rss`` — the kernel's smaps accounting on the named
+          ``memfd:repro-arena`` mappings must show the workers sharing
+          pages (proportional-set size well below resident-set size),
+          i.e. the register file is mapped, not copied.
+        """
+        if not hasattr(os, "fork"):
+            self.log("  E16 skipped: os.fork unavailable on this platform")
+            return
+        import http.client
+        import re
+        import signal
+        import subprocess
+        import tempfile
+
+        from repro.core.config import EngineConfig
+        from repro.core.engine import build_index
+        from repro.graphs.generators import FAMILIES
+        from repro.persist import cache_path, index_fingerprint, save_index
+        from repro.serve.http import wait_until_ready
+        from repro.serve.loadgen import closed_loop
+
+        p = self.profile
+        quick = p.name == "quick"
+        n = 1024 if quick else 2048
+        seed = 3
+        batch = 64
+        duration = 1.0 if quick else 2.0
+        host = "127.0.0.1"
+
+        # the exact graph the server will build for the family spec below
+        # (NOT self.graph(): _make_graph and FAMILIES differ, and the
+        # snapshot fingerprint must match the server's request key)
+        graph = FAMILIES["grid"](n, seed=seed)
+        index = build_index(graph, _QUERY, config=EngineConfig(layout="arena"))
+        fingerprint = index_fingerprint(graph, _QUERY)
+
+        spec = {"family": "grid", "n": n, "seed": seed, "query": _QUERY}
+        probes = _pairs(n, max(p.probes, 4 * batch), seed=5)
+        bodies: list[bytes] = []
+        for start in range(0, len(probes) - batch + 1, batch):
+            calls: list[dict[str, Any]] = []
+            for i, (u, v) in enumerate(probes[start : start + batch]):
+                op = "next" if i % 2 else "test"
+                calls.append({"op": op, "tuple": [u, v]})
+            bodies.append(json.dumps({**spec, "calls": calls}).encode("utf-8"))
+        expected: list[Any] = []
+        for i, (u, v) in enumerate(probes[:batch]):
+            if i % 2:
+                out = index.next_solution((u, v))
+                expected.append(None if out is None else list(out))
+            else:
+                expected.append(index.test((u, v)))
+
+        def start_server(
+            snapdir: Path, extra: list[str]
+        ) -> tuple[subprocess.Popen, int]:
+            cmd = [
+                sys.executable, "-m", "repro", "serve",
+                "--host", host, "--port", "0",
+                "--snapshot-dir", str(snapdir),
+            ] + extra
+            env = dict(os.environ)
+            env["PYTHONPATH"] = (
+                str(Path(__file__).resolve().parent.parent)
+                + os.pathsep
+                + env.get("PYTHONPATH", "")
+            )
+            proc = subprocess.Popen(
+                cmd, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                text=True, env=env,
+            )
+            line = proc.stdout.readline() if proc.stdout else ""
+            match = re.search(r"http://[^:]+:(\d+)", line)
+            if match:
+                port = int(match.group(1))
+                if wait_until_ready(host, port, deadline_seconds=30.0):
+                    return proc, port
+            proc.kill()
+            proc.wait()
+            raise RuntimeError(
+                f"serve subprocess failed to start ({' '.join(extra) or 'single'}):"
+                f" {line!r}"
+            )
+
+        def stop_server(proc: subprocess.Popen) -> None:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGINT)  # the CLI's clean-close path
+                try:
+                    proc.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+
+        def check_oracle(port: int) -> bool:
+            conn = http.client.HTTPConnection(host, port, timeout=30.0)
+            try:
+                conn.request(
+                    "POST", "/v1/batch", body=bodies[0],
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read().decode("utf-8"))
+            finally:
+                conn.close()
+            if response.status != 200:
+                raise RuntimeError(f"batch oracle got HTTP {response.status}")
+            return payload.get("results") == expected
+
+        def measure(port: int) -> Any:
+            return closed_loop(
+                host, port, "/v1/batch", bodies, batch,
+                connections=8, duration_seconds=duration,
+                warmup_seconds=0.4,
+            )
+
+        cpus = os.cpu_count() or 1
+        with tempfile.TemporaryDirectory(prefix="repro-e16-") as tmp:
+            snapdir = Path(tmp)
+            save_index(index, cache_path(snapdir, fingerprint), fingerprint)
+
+            proc, port = start_server(snapdir, [])
+            try:
+                answers_ok = check_oracle(port)
+                base = measure(port)
+            finally:
+                stop_server(proc)
+            base_aps = max(base.answers_per_second, 1e-9)
+            self.record(
+                "E16", "bench_serving", f"test_single_throughput[{n}]",
+                {"n": n},
+                _stats([base.elapsed_seconds / max(base.answers, 1)]),
+                {
+                    "answers_per_second": round(base_aps, 1),
+                    "requests": base.requests,
+                    "errors": base.errors,
+                    "batch_calls": batch,
+                    "answers_match": answers_ok,
+                },
+            )
+
+            pool_sizes = (1, 2, 4)
+            for w in pool_sizes:
+                proc, port = start_server(
+                    snapdir, ["--pool-workers", str(w), "--shards", str(2 * w)]
+                )
+                try:
+                    answers_ok = check_oracle(port)
+                    res = measure(port)
+                    aps = res.answers_per_second
+                    usable = min(w, cpus)
+                    floor = 0.45 if usable == 1 else 0.5 * usable
+                    speedup = aps / base_aps
+                    self.record(
+                        "E16", "bench_serving", f"test_pool_throughput[{w}]",
+                        {"n": w},
+                        _stats([res.elapsed_seconds / max(res.answers, 1)]),
+                        {
+                            "workers": w,
+                            "shards": 2 * w,
+                            "cpu_count": cpus,
+                            "answers_per_second": round(aps, 1),
+                            "speedup_vs_single": round(speedup, 3),
+                            "speedup_floor": round(floor, 3),
+                            "speedup_over_floor": round(speedup / floor, 3),
+                            "errors": res.errors,
+                            "answers_match": answers_ok,
+                        },
+                    )
+                    if w == pool_sizes[-1]:
+                        self._e16_latency(host, port, bodies, batch, aps, quick)
+                        self._e16_shared_arena(host, port, w)
+                finally:
+                    stop_server(proc)
+
+    def _e16_latency(
+        self,
+        host: str,
+        port: int,
+        bodies: list[bytes],
+        batch: int,
+        closed_aps: float,
+        quick: bool,
+    ) -> None:
+        """Open-loop tail latency on the 4-worker pool, watchdog-budgeted.
+
+        A low-rate run self-calibrates the budget exactly the way the
+        serving watchdog does (median per-answer delay, same default
+        multiple); the measured run then offers ~half the closed-loop
+        capacity so queueing — not client saturation — is what p99 sees.
+        """
+        from repro.serve.loadgen import open_loop, percentile
+        from repro.trace.watchdog import Watchdog
+
+        batch_rps = max(closed_aps / batch, 10.0)
+        wd = Watchdog()
+        calib_rate = max(batch_rps * 0.1, 30.0)
+        calib = open_loop(
+            host, port, "/v1/batch", bodies, batch,
+            rate_per_second=calib_rate,
+            duration_seconds=max((wd.calibration_samples + 16) / calib_rate, 0.5),
+            connections=4,
+        )
+        for delay in calib.delays:
+            wd.observe_step(delay)
+        budget = wd.budget_seconds
+        if budget is None:  # calibration run too small: median by hand
+            ordered = sorted(calib.delays) or [wd.min_budget_seconds]
+            budget = max(ordered[len(ordered) // 2], wd.min_budget_seconds)
+        res = open_loop(
+            host, port, "/v1/batch", bodies, batch,
+            rate_per_second=max(batch_rps * 0.5, 20.0),
+            duration_seconds=1.5 if quick else 3.0,
+            connections=8,
+        )
+        delays = res.delays or [0.0]
+        p99 = percentile(delays, 0.99)
+        allowed = budget * wd.multiple
+        self.record(
+            "E16", "bench_serving", "test_pool_latency[4]", {"n": 4},
+            _stats(delays),
+            {
+                "offered_batches_per_second": round(max(batch_rps * 0.5, 20.0), 1),
+                "p50_us": round(percentile(delays, 0.5) * 1e6, 1),
+                "p99_us": round(p99 * 1e6, 1),
+                "budget_us": round(allowed * 1e6, 1),
+                "watchdog_multiple": wd.multiple,
+                "p99_headroom": round(allowed / max(p99, 1e-9), 3),
+                "late_sends": res.late_sends,
+                "errors": res.errors,
+            },
+        )
+
+    def _e16_shared_arena(self, host: str, port: int, workers: int) -> None:
+        """The kernel's own page accounting for the shared arena mappings.
+
+        Every worker pre-faults the ``memfd:repro-arena`` mapping at
+        startup, so smaps ``Pss`` (each page divided by its mapper count)
+        far below ``Rss`` is direct evidence the pool shares one physical
+        copy.  Zeros (non-Linux, object layout) record as unavailable.
+        """
+        import http.client
+
+        conn = http.client.HTTPConnection(host, port, timeout=30.0)
+        try:
+            conn.request("GET", "/v1/stats")
+            payload = json.loads(conn.getresponse().read().decode("utf-8"))
+        finally:
+            conn.close()
+        rss = pss = maps = mapped_workers = 0
+        for entry in payload.get("workers", []):
+            arena = (entry.get("worker") or {}).get("arena_maps") or {}
+            if arena.get("maps"):
+                mapped_workers += 1
+            maps += int(arena.get("maps", 0))
+            rss += int(arena.get("rss_kb", 0))
+            pss += int(arena.get("pss_kb", 0))
+        shared_bytes = int(payload.get("pool", {}).get("shared_arena_bytes", 0))
+        self.record(
+            "E16", "bench_serving", f"test_pool_shared_arena[{workers}]",
+            {"n": workers},
+            _stats([max(rss, 1) * 1e-6]),  # pseudo-timing: rss in "seconds"
+            {
+                "shared_arena_bytes": shared_bytes,
+                "workers_mapped": mapped_workers,
+                "arena_maps": maps,
+                "rss_kb_total": rss,
+                "pss_kb_total": pss,
+                "pss_over_rss": round(pss / rss, 3) if rss else 0.0,
+                "smaps_available": rss > 0,
+            },
+        )
+
     # -- dispatch -------------------------------------------------------
 
     RUNNERS: dict[str, str] = {
@@ -841,6 +1129,7 @@ class BenchSuite:
         "E13": "run_e13",
         "E14": "run_e14",
         "E15": "run_e15",
+        "E16": "run_e16",
         "EA": "run_ea",
     }
 
@@ -883,6 +1172,20 @@ class GateRule:
     prefix: str  # record-name prefix selecting the series
     metric: str  # "time" | "extra:<key>"
     claim: str
+    #: when set, every point must be >= this value (a bound, not a shape)
+    floor: float | None = None
+    #: when set, every point must be <= this value
+    ceiling: float | None = None
+    #: fewest points for the rule to apply; shape (exponent/flatness)
+    #: checks always need two distinct sizes on top of this, while
+    #: floor/ceiling rules are meaningful from a single point
+    min_points: int = 2
+
+
+#: smaps Pss/Rss ceiling on the shared arena mappings: with every page
+#: mapped by the parent plus >= 1 worker the true ratio is <= 0.5; the
+#: slack absorbs smaps' per-mapping kB rounding on small arenas.
+POOL_SHARE_MAX = 0.6
 
 
 GATE_RULES = (
@@ -909,6 +1212,19 @@ GATE_RULES = (
     GateRule("E15", "bench_persist", "test_warm_vs_cold[",
              "extra:warm_speedup_vs_cold",
              "Persistence: snapshot load >= 5x faster than cold preprocessing"),
+    GateRule("E16", "bench_serving", "test_pool_throughput[",
+             "extra:speedup_over_floor",
+             "Pool serving: throughput clears the machine-aware worker floor",
+             floor=1.0, min_points=1),
+    GateRule("E16", "bench_serving", "test_pool_latency[",
+             "extra:p99_headroom",
+             "Pool serving: open-loop p99 per-answer delay within the "
+             "watchdog budget",
+             floor=1.0, min_points=1),
+    GateRule("E16", "bench_serving", "test_pool_shared_arena[",
+             "extra:pss_over_rss",
+             "Pool serving: arena pages mmap-shared across workers, not copied",
+             ceiling=POOL_SHARE_MAX, min_points=1),
 )
 
 #: Timing series fail only when exponent AND spread both look non-constant.
@@ -931,9 +1247,11 @@ def check_gate(
 ) -> list[dict[str, Any]]:
     """Evaluate every O(1) gate rule against a suite document.
 
-    Returns one verdict dict per applicable rule (rules whose series has
-    fewer than two points are skipped): ``{rule, series, points,
-    exponent, flatness, passed}``.
+    Returns one verdict dict per applicable rule: ``{rule, series,
+    points, exponent, flatness, passed}``.  Shape rules (exponent and
+    flatness) need at least two points at distinct sizes and are skipped
+    otherwise; floor/ceiling rules apply from ``rule.min_points`` up —
+    they bound every point, so a single measurement already decides them.
     """
     verdicts: list[dict[str, Any]] = []
     for rule in GATE_RULES:
@@ -955,13 +1273,24 @@ def check_gate(
             if isinstance(value, (int, float)) and value > 0:
                 points.append((n, float(value)))
         points.sort()
-        if len(points) < 2 or len({n for n, _ in points}) < 2:
+        bounded = rule.floor is not None or rule.ceiling is not None
+        if bounded:
+            if len(points) < rule.min_points:
+                continue
+        elif len(points) < 2 or len({n for n, _ in points}) < 2:
             continue
         xs = [n for n, _ in points]
         ys = [v for _, v in points]
-        exponent, _ = fit_exponent(xs, ys)
+        if len(set(xs)) >= 2:
+            exponent, _ = fit_exponent(xs, ys)
+        else:
+            exponent = 0.0
         spread = flatness(ys)
-        if rule.metric.startswith("extra:register"):
+        if rule.floor is not None:
+            passed = min(ys) >= rule.floor
+        elif rule.ceiling is not None:
+            passed = max(ys) <= rule.ceiling
+        elif rule.metric.startswith("extra:register"):
             passed = spread <= OPS_GATE_FLATNESS
         elif rule.metric == "extra:warm_speedup_vs_cold":
             # a floor, not a flatness check: every point must clear 5x

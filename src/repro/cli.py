@@ -36,7 +36,7 @@ Commands
     One-line timing summary: preprocessing, per-test, per-next.
 
 ``bench-suite [--quick] [-o FILE] [--experiments IDS] [--report FILE]``
-    Run the paper's E1-E14 experiment sweeps (no pytest-benchmark
+    Run the paper's E1-E16 experiment sweeps (no pytest-benchmark
     needed), write schema-validated results JSON, and check the O(1)
     regression gate.  See :mod:`repro.benchrunner`.
 
@@ -338,6 +338,10 @@ def _cmd_serve(args) -> int:
 
     if args.max_page_size < 1:
         raise UsageError(f"--max-page-size must be >= 1, got {args.max_page_size}")
+    if args.max_batch_calls < 1:
+        raise UsageError(
+            f"--max-batch-calls must be >= 1, got {args.max_batch_calls}"
+        )
     if args.cache_entries < 1:
         raise UsageError(f"--cache-entries must be >= 1, got {args.cache_entries}")
     if args.max_builds < 1:
@@ -375,8 +379,11 @@ def _cmd_serve(args) -> int:
         max_page_size=args.max_page_size,
         build_wait_seconds=args.build_timeout,
         max_in_flight_builds=args.max_builds,
+        max_batch_calls=args.max_batch_calls,
         config=_engine_config(args),
     )
+    if args.pool_workers:
+        return _serve_pool(args, service)
     server = create_server(
         service,
         host=args.host,
@@ -400,6 +407,56 @@ def _cmd_serve(args) -> int:
         print("repro serve: shutting down", file=sys.stderr)
     finally:
         server.server_close()
+    return 0
+
+
+def _serve_pool(args, service) -> int:
+    """The ``--pool-workers`` branch of ``repro serve``: pre-fork pool."""
+    import os as _os
+
+    from repro.serve.pool import PoolServer
+    from repro.trace.watchdog import Watchdog
+
+    if not hasattr(_os, "fork"):
+        raise UsageError("--pool-workers needs os.fork (POSIX only)")
+    if args.pool_workers < 1:
+        raise UsageError(f"--pool-workers must be >= 1, got {args.pool_workers}")
+    shards = args.shards or args.pool_workers
+    if shards < args.pool_workers:
+        raise UsageError(
+            f"--shards ({shards}) must be >= --pool-workers ({args.pool_workers})"
+        )
+    watchdog_factory = None
+    if args.watchdog_multiple > 0:
+        multiple = args.watchdog_multiple
+        watchdog_factory = lambda: Watchdog(multiple=multiple)  # noqa: E731
+    pool = PoolServer(
+        service,
+        host=args.host,
+        port=args.port,
+        workers=args.pool_workers,
+        shards=shards,
+        request_timeout=args.request_timeout,
+        trace_capacity=args.trace_buffer,
+        trace_sample=args.trace_sample,
+        slow_ms=args.slow_ms,
+        watchdog_factory=watchdog_factory,
+    )
+    pool.start()
+    host, port = pool.address
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(pool: {pool.workers} workers, {pool.shards} shards, "
+        f"{len(pool.preloaded)} preloaded, "
+        f"{pool.shared_bytes} shared arena bytes)",
+        flush=True,
+    )
+    try:
+        pool.serve_forever()
+    except KeyboardInterrupt:
+        print("repro serve: shutting down pool", file=sys.stderr)
+    finally:
+        pool.close()
     return 0
 
 
@@ -529,6 +586,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cap on one enumerate page (default 1000)")
     serve.add_argument("--max-builds", type=int, default=4, metavar="N",
                        help="concurrent distinct index builds (default 4)")
+    serve.add_argument("--max-batch-calls", type=int, default=1024, metavar="N",
+                       help="cap on calls per /v1/batch request (default 1024)")
     serve.add_argument("--build-timeout", type=float, default=60.0, metavar="S",
                        help="seconds a request waits on an in-flight build")
     serve.add_argument("--request-timeout", type=float, default=30.0, metavar="S",
@@ -552,6 +611,13 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="X",
                        help="flag enumeration steps slower than X times the "
                             "calibrated budget (0 disables the watchdog)")
+    serve.add_argument("--pool-workers", type=int, default=0, metavar="N",
+                       help="pre-fork N worker processes sharing mmap'd "
+                            "arena snapshots; requests are routed to workers "
+                            "by (graph, query) shard (0 = single process)")
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="routing shards for the pooled warm-index LRU "
+                            "(default: --pool-workers)")
     serve.add_argument("--paranoid", action="store_true",
                        help="install the freeze tripwire: any write to a "
                             "frozen index outside its build phase raises "
@@ -562,7 +628,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_suite = commands.add_parser(
         "bench-suite",
-        help="run the E1-E14 experiment sweeps and the O(1) regression gate",
+        help="run the E1-E16 experiment sweeps and the O(1) regression gate",
     )
     _bench_suite_arguments(bench_suite)
     bench_suite.set_defaults(func=_cmd_bench_suite)

@@ -33,7 +33,8 @@ from repro.serve.client import (
     inline_spec,
     path_spec,
 )
-from repro.serve.http import create_server, wait_until_ready
+from repro.serve.http import build_handler, create_server, wait_until_ready
+from repro.serve.pool import PoolServer, PoolWorkerUnavailable, routing_key, shard_for
 from repro.serve.service import (
     BadRequest,
     GraphStore,
@@ -47,15 +48,20 @@ __all__ = [
     "BuildWaitTimeout",
     "GraphStore",
     "IndexCache",
+    "PoolServer",
+    "PoolWorkerUnavailable",
     "QueryService",
     "ServeError",
     "ServiceClient",
     "ServiceClientError",
     "ServiceUnavailable",
     "TooManyBuilds",
+    "build_handler",
     "create_server",
     "family_spec",
     "inline_spec",
     "path_spec",
+    "routing_key",
+    "shard_for",
     "wait_until_ready",
 ]

@@ -285,6 +285,19 @@ class IndexCache:
             self.stats["evictions"] += 1
             _metrics_count("serve.evictions")
 
+    def seed(self, key: str, index: QueryIndex) -> None:
+        """Publish a pre-built index under ``key`` (pool pre-fork warmup).
+
+        The pool parent loads snapshots and re-homes their arena buffers
+        into shared memory *before* forking, then seeds them here so every
+        worker starts with the index already warm — status ``"hit"`` on
+        the first request.  Seeding counts as a snapshot load in the stats
+        since that is what it replaced.
+        """
+        with self._lock:
+            self._insert(key, index)
+            self.stats["snapshot_loads"] += 1
+
     def drop(self, key: str) -> bool:
         """Evict one fingerprint; True if it was cached."""
         with self._lock:

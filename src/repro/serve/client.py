@@ -132,6 +132,35 @@ class ServiceClient:
             if cursor is None:
                 return
 
+    def batch(
+        self,
+        graph: dict[str, Any],
+        query: str,
+        calls: Sequence[tuple[str, Sequence[int]]],
+        method: str = "auto",
+    ) -> list[Any]:
+        """N test/next calls in one round trip (``/v1/batch``).
+
+        ``calls`` is a sequence of ``(op, tuple)`` pairs with ``op`` one of
+        ``"test"`` / ``"next"``; the reply is position-aligned — a bool per
+        ``test`` call, a solution tuple or ``None`` per ``next`` call.
+        """
+        reply = self._post(
+            "/v1/batch",
+            {
+                **graph,
+                "query": query,
+                "method": method,
+                "calls": [
+                    {"op": op, "tuple": list(values)} for op, values in calls
+                ],
+            },
+        )
+        return [
+            tuple(item) if isinstance(item, list) else item
+            for item in reply["results"]
+        ]
+
     def count(self, graph: dict[str, Any], query: str, method: str = "auto") -> int:
         """|phi(G)|."""
         reply = self._post("/v1/count", {**graph, "query": query, "method": method})
@@ -178,7 +207,18 @@ class ServiceClient:
     def _send(self, request: Request) -> dict[str, Any]:
         try:
             with urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
+                status = response.status
+                raw = response.read()
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                # a 2xx with a malformed body is still a failure, and the
+                # documented contract is "failures raise ServiceClientError"
+                raise ServiceClientError(
+                    f"HTTP {status}: response body is not valid JSON: {exc}",
+                    status=status,
+                    payload=raw[:512],
+                ) from None
         except HTTPError as exc:
             try:
                 payload = json.loads(exc.read().decode("utf-8"))

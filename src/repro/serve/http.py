@@ -13,6 +13,8 @@ Routes (all JSON unless negotiated otherwise)::
                                                  -> {"items": [...], "next_cursor"}
     POST /v1/count      {graph spec, "query"}                -> {"count": int}
     POST /v1/explain    {"query"}                            -> {"decomposable": ...}
+    POST /v1/batch      {graph spec, "query", "calls": [{"op", "tuple"}, ...]}
+                                                 -> {"results": [...]}
     GET  /metrics       registry dump + cache stats (JSON), or Prometheus
                         text exposition via ``Accept: text/plain`` /
                         ``?format=prom``
@@ -74,7 +76,53 @@ _POST_ROUTES = {
     "/v1/enumerate": "handle_enumerate",
     "/v1/count": "handle_count",
     "/v1/explain": "handle_explain",
+    "/v1/batch": "handle_batch",
 }
+
+
+def read_request_body(
+    handler: BaseHTTPRequestHandler, max_body_bytes: int
+) -> bytes:
+    """Read and return one request body, keep-alive-safely.
+
+    Raises :class:`~repro.serve.service.BadRequest` on a missing, invalid,
+    negative or oversized ``Content-Length``.  On every path that leaves
+    body bytes unread (including a short read from a lying client), the
+    connection is marked ``close_connection`` first — replying 400 and
+    then reusing the socket would make the parser treat the unread body
+    as the next request line, corrupting every later request on that
+    connection.  A negative length is rejected outright: ``rfile.read(-5)``
+    reads until EOF, pinning the thread until the request timeout.
+    """
+    from repro.serve.service import BadRequest
+
+    length_header = handler.headers.get("Content-Length")
+    try:
+        length = int(length_header or "")
+    except ValueError:
+        handler.close_connection = True
+        raise BadRequest("missing or invalid Content-Length header") from None
+    if length < 0:
+        handler.close_connection = True
+        raise BadRequest(
+            f"Content-Length must be non-negative, got {length}"
+        ) from None
+    if length > max_body_bytes:
+        handler.close_connection = True
+        raise BadRequest(
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte cap"
+        )
+    body = handler.rfile.read(length)
+    if len(body) != length:
+        # client hung up (or lied about the length) mid-body; the stream
+        # position is unknowable, so the connection cannot be reused
+        handler.close_connection = True
+        raise BadRequest(
+            f"request body truncated: Content-Length promised {length} "
+            f"bytes, got {len(body)}"
+        )
+    return body
 
 
 class RequestHandler(BaseHTTPRequestHandler):
@@ -250,17 +298,7 @@ class RequestHandler(BaseHTTPRequestHandler):
     def _read_json(self) -> dict[str, Any]:
         from repro.serve.service import BadRequest
 
-        length_header = self.headers.get("Content-Length")
-        try:
-            length = int(length_header or "")
-        except ValueError:
-            raise BadRequest("missing or invalid Content-Length header") from None
-        if length > self.max_body_bytes:
-            raise BadRequest(
-                f"request body of {length} bytes exceeds the "
-                f"{self.max_body_bytes}-byte cap"
-            )
-        body = self.rfile.read(length)
+        body = read_request_body(self, self.max_body_bytes)
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -298,6 +336,41 @@ class RequestHandler(BaseHTTPRequestHandler):
         logger.debug("%s - %s", self.address_string(), format % args)
 
 
+def build_handler(
+    service: QueryService,
+    request_timeout: float = 30.0,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    trace_buffer: TraceBuffer | None = None,
+    trace_capacity: int | None = None,
+    trace_sample: float = 0.0,
+    slow_ms: float | None = None,
+    watchdog: Watchdog | None = None,
+) -> type[RequestHandler]:
+    """A :class:`RequestHandler` subclass bound to one service + knobs.
+
+    :func:`create_server` uses this for the classic single-process server;
+    :mod:`repro.serve.pool` uses it directly so each forked worker can
+    hang the same handler off a socket it inherited from the parent.
+    """
+    if not 0.0 <= trace_sample <= 1.0:
+        raise ValueError(f"trace_sample must be in [0, 1], got {trace_sample}")
+    if trace_buffer is None and trace_capacity != 0:
+        trace_buffer = TraceBuffer(trace_capacity or DEFAULT_CAPACITY)
+    return type(
+        "BoundRequestHandler",
+        (RequestHandler,),
+        {
+            "service": service,
+            "timeout": request_timeout,
+            "max_body_bytes": max_body_bytes,
+            "trace_buffer": trace_buffer,
+            "trace_sample": trace_sample,
+            "slow_ms": slow_ms,
+            "watchdog": watchdog,
+        },
+    )
+
+
 def create_server(
     service: QueryService,
     host: str = "127.0.0.1",
@@ -326,22 +399,15 @@ def create_server(
     always recorded.  ``slow_ms`` turns on the structured slow-request
     log.  ``watchdog`` consumes recorded enumeration-step spans live.
     """
-    if not 0.0 <= trace_sample <= 1.0:
-        raise ValueError(f"trace_sample must be in [0, 1], got {trace_sample}")
-    if trace_buffer is None and trace_capacity != 0:
-        trace_buffer = TraceBuffer(trace_capacity or DEFAULT_CAPACITY)
-    handler = type(
-        "BoundRequestHandler",
-        (RequestHandler,),
-        {
-            "service": service,
-            "timeout": request_timeout,
-            "max_body_bytes": max_body_bytes,
-            "trace_buffer": trace_buffer,
-            "trace_sample": trace_sample,
-            "slow_ms": slow_ms,
-            "watchdog": watchdog,
-        },
+    handler = build_handler(
+        service,
+        request_timeout=request_timeout,
+        max_body_bytes=max_body_bytes,
+        trace_buffer=trace_buffer,
+        trace_capacity=trace_capacity,
+        trace_sample=trace_sample,
+        slow_ms=slow_ms,
+        watchdog=watchdog,
     )
     server = ThreadingHTTPServer((host, port), handler)
     server.daemon_threads = True

@@ -1,0 +1,222 @@
+"""Closed- and open-loop HTTP load generation for the serving benchmarks.
+
+Two disciplines, two questions:
+
+* :func:`closed_loop` — as many requests as the server will absorb over
+  persistent connections; measures **throughput** (answers/second).
+  Clients parse nothing on the hot loop beyond the status line, so on a
+  shared CI box the measured ceiling is the server's, not the client's.
+* :func:`open_loop` — requests dispatched on a fixed schedule
+  (``t0 + i/rate``) regardless of completions, the discipline that
+  exposes queueing: a saturated server cannot slow the arrival process
+  down, so latency, not throughput, absorbs the overload.  Per-answer
+  delay is the batch round-trip divided by the calls it carried —
+  directly comparable with the watchdog's per-step budget.
+
+Everything is stdlib (``http.client`` + threads); the paper's workload
+shape — tiny CPU-bound request bodies, constant-time answers — is what
+makes a thread-per-connection generator in Python adequate: clients
+spend their time blocked on the server, not computing.
+"""
+
+from __future__ import annotations
+
+import http.client
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LoadResult:
+    """What one load run observed (latencies only for open-loop runs)."""
+
+    requests: int = 0
+    answers: int = 0
+    errors: int = 0
+    elapsed_seconds: float = 0.0
+    #: open-loop per-answer delays (seconds), scheduled-send to response.
+    delays: list[float] = field(default_factory=list)
+    #: requests that could not be sent at their scheduled time budget.
+    late_sends: int = 0
+
+    @property
+    def answers_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.answers / self.elapsed_seconds
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-quantile (0..1) by linear interpolation; 0.0 when empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def _post_once(
+    conn: http.client.HTTPConnection, path: str, body: bytes
+) -> tuple[http.client.HTTPConnection, int]:
+    """POST over a keep-alive connection, reconnecting once if it died."""
+    for attempt in (0, 1):
+        try:
+            conn.request(
+                "POST", path, body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            response.read()  # drain so the connection can be reused
+            return conn, response.status
+        except (http.client.HTTPException, OSError):
+            conn.close()
+            if attempt:
+                raise
+            conn = http.client.HTTPConnection(conn.host, conn.port, timeout=30.0)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def closed_loop(
+    host: str,
+    port: int,
+    path: str,
+    bodies: list[bytes],
+    answers_per_request: int,
+    connections: int = 8,
+    duration_seconds: float = 2.0,
+    warmup_seconds: float = 0.3,
+) -> LoadResult:
+    """Hammer ``path`` from ``connections`` persistent clients.
+
+    Each client cycles through the pre-encoded ``bodies`` (vary the
+    probes there, not in the loop).  The warmup window runs the same
+    traffic but counts nothing — connection setup, cache settling and
+    the server's first-touch page faults happen off the books.
+    """
+    result = LoadResult()
+    lock = threading.Lock()
+    start = time.monotonic()
+    measure_from = start + warmup_seconds
+    deadline = measure_from + duration_seconds
+
+    def client(offset: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=30.0)
+        sent = 0
+        counted = 0
+        good = 0
+        errors = 0
+        try:
+            while True:
+                now = time.monotonic()
+                if now >= deadline:
+                    break
+                body = bodies[(offset + sent) % len(bodies)]
+                sent += 1
+                try:
+                    conn, status = _post_once(conn, path, body)
+                except (http.client.HTTPException, OSError):
+                    errors += 1
+                    continue
+                if now >= measure_from:
+                    counted += 1
+                    if status == 200:
+                        good += 1
+                    else:
+                        errors += 1
+        finally:
+            conn.close()
+        with lock:
+            result.requests += counted
+            result.answers += good * answers_per_request
+            result.errors += errors
+
+    threads = [
+        threading.Thread(target=client, args=(i * 7,), daemon=True)
+        for i in range(connections)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.elapsed_seconds = time.monotonic() - measure_from
+    return result
+
+
+def open_loop(
+    host: str,
+    port: int,
+    path: str,
+    bodies: list[bytes],
+    answers_per_request: int,
+    rate_per_second: float,
+    duration_seconds: float = 2.0,
+    connections: int = 8,
+) -> LoadResult:
+    """Dispatch on the clock: request ``i`` is due at ``t0 + i/rate``.
+
+    Connections take interleaved slots (client c sends slots c, c+C,
+    c+2C, ...), sleep until each slot's due time, then send and record
+    ``completion - due`` — the latency a *punctual* client population
+    would see, queueing included.  Per-answer delay divides by the calls
+    per body.
+    """
+    result = LoadResult()
+    lock = threading.Lock()
+    total = max(1, int(rate_per_second * duration_seconds))
+    interval = 1.0 / rate_per_second
+    start = time.monotonic() + 0.05  # small lead so slot 0 is in the future
+
+    def client(which: int) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=30.0)
+        delays: list[float] = []
+        good = 0
+        errors = 0
+        late = 0
+        try:
+            for slot in range(which, total, connections):
+                due = start + slot * interval
+                pause = due - time.monotonic()
+                if pause > 0:
+                    time.sleep(pause)
+                elif pause < -interval:
+                    late += 1  # this client fell behind the schedule
+                body = bodies[slot % len(bodies)]
+                try:
+                    conn, status = _post_once(conn, path, body)
+                except (http.client.HTTPException, OSError):
+                    errors += 1
+                    continue
+                finish = time.monotonic()
+                if status == 200:
+                    good += 1
+                    delays.append((finish - due) / answers_per_request)
+                else:
+                    errors += 1
+        finally:
+            conn.close()
+        with lock:
+            result.requests += good + errors
+            result.answers += good * answers_per_request
+            result.errors += errors
+            result.late_sends += late
+            result.delays.extend(delays)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(connections)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.elapsed_seconds = time.monotonic() - start
+    return result
+
+
+__all__ = ["LoadResult", "closed_loop", "open_loop", "percentile"]

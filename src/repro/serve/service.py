@@ -194,11 +194,18 @@ class QueryService:
         max_in_flight_builds: int = 4,
         graph_cache_entries: int = 16,
         config: EngineConfig = DEFAULT_CONFIG,
+        max_batch_calls: int = 1024,
     ) -> None:
         if max_page_size < 1:
             raise ValueError(f"max_page_size must be >= 1, got {max_page_size}")
+        if max_batch_calls < 1:
+            raise ValueError(f"max_batch_calls must be >= 1, got {max_batch_calls}")
         self.max_page_size = max_page_size
         self.default_page_size = min(default_page_size, max_page_size)
+        self.max_batch_calls = max_batch_calls
+        #: Filled by the pool's worker bootstrap; merged into ``stats()``
+        #: so ``/v1/stats`` reports per-worker occupancy.
+        self.worker_stats_fn = None
         self.graphs = GraphStore(graph_root, max_entries=graph_cache_entries)
         self.cache = IndexCache(
             max_entries=cache_entries,
@@ -252,6 +259,43 @@ class QueryService:
             "index": meta,
         }
 
+    def handle_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """N test/next calls against one index, amortizing the round trip.
+
+        ``calls`` is a list of ``{"op": "test"|"next", "tuple": [...]}``;
+        the response's ``results`` list is position-aligned (a bool per
+        ``test``, a solution list or null per ``next``).  The index is
+        resolved once, so a batch of B calls costs one cache lookup plus
+        B constant-time oracle calls — the per-call HTTP overhead that
+        dominated single-call round trips is paid once per batch.
+        """
+        index, meta = self._index_for(payload)
+        calls = payload.get("calls")
+        if not isinstance(calls, list) or not calls:
+            raise BadRequest("'calls' must be a non-empty list of call objects")
+        if len(calls) > self.max_batch_calls:
+            raise BadRequest(
+                f"batch of {len(calls)} calls exceeds the "
+                f"{self.max_batch_calls}-call cap"
+            )
+        results: list[Any] = []
+        for position, call in enumerate(calls):
+            if not isinstance(call, dict):
+                raise BadRequest(f"calls[{position}] must be an object")
+            op = call.get("op")
+            if op == "test":
+                values = _require_tuple(call, "tuple", index.arity)
+                results.append(index.test(values))
+            elif op == "next":
+                values = _require_tuple(call, "tuple", index.arity)
+                found = index.next_solution(values)
+                results.append(None if found is None else list(found))
+            else:
+                raise BadRequest(
+                    f"calls[{position}].op must be 'test' or 'next', got {op!r}"
+                )
+        return {"results": results, "index": meta}
+
     def handle_count(self, payload: dict[str, Any]) -> dict[str, Any]:
         """|phi(G)| (one full enumeration on the indexed path)."""
         index, meta = self._index_for(payload)
@@ -281,14 +325,18 @@ class QueryService:
 
     def stats(self) -> dict[str, Any]:
         """The ``/v1/stats`` payload: knobs and cache occupancy."""
-        return {
+        out: dict[str, Any] = {
             "cache": self.cache.snapshot_stats(),
             "max_page_size": self.max_page_size,
             "default_page_size": self.default_page_size,
+            "max_batch_calls": self.max_batch_calls,
             "graph_root": (
                 None if self.graphs.graph_root is None else str(self.graphs.graph_root)
             ),
         }
+        if self.worker_stats_fn is not None:
+            out["worker"] = self.worker_stats_fn()
+        return out
 
     # ------------------------------------------------------------------
     # shared plumbing

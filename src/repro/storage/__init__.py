@@ -28,6 +28,7 @@ from repro.storage.arena import (
 )
 from repro.storage.function_store import StoredFunction
 from repro.storage.registers import RegisterFile
+from repro.storage.shared import SharedArena, share_index, shared_map_stats
 from repro.storage.trie import HIT, MISS, TrieStore
 
 __all__ = [
@@ -39,8 +40,11 @@ __all__ = [
     "LAYOUT_ENV_VAR",
     "MISS",
     "RegisterFile",
+    "SharedArena",
     "StoredFunction",
     "TrieStore",
     "make_trie_store",
     "resolve_layout",
+    "share_index",
+    "shared_map_stats",
 ]

@@ -292,6 +292,35 @@ class ArenaRegisterFile:
             except TypeError:
                 pass
 
+    # -- shared-memory re-homing -------------------------------------------
+    @builds
+    def adopt_buffers(self, delta: Any, payload: Any) -> None:
+        """Swap the arena arrays for externally-owned buffer views.
+
+        The pre-fork serving pool copies ``_delta``/``_payload`` into one
+        shared ``memfd`` mapping and re-homes the register file onto
+        read-only ``memoryview`` casts of it, so every forked worker reads
+        the *same physical pages* (zero-copy; see
+        :mod:`repro.storage.shared`).  The buffers must decode to exactly
+        the current cells — this changes where the words live, never what
+        they say.  Read paths only ever index the buffers, so any
+        sequence supporting ``__getitem__``/``__len__``/``tobytes`` works;
+        growth paths (``allocate``) would need ``array`` and are frozen
+        out after build anyway.
+        """
+        if len(delta) != len(self._delta):
+            raise ValueError(
+                f"delta buffer holds {len(delta)} cells, arena has "
+                f"{len(self._delta)}"
+            )
+        if len(payload) != len(self._payload):
+            raise ValueError(
+                f"payload buffer holds {len(payload)} words, arena has "
+                f"{len(self._payload)}"
+            )
+        self._delta = delta
+        self._payload = payload
+
     # -- introspection (tests) ----------------------------------------------
     @read_only
     def check_intern_invariants(self, live_cells: int) -> None:
@@ -485,6 +514,14 @@ class ArenaTrieStore(TrieStore):
             else:
                 return side[word >> 2] if word else None
         raise AssertionError("unreachable: arena walk fell through")  # pragma: no cover
+
+    @builds
+    def rebind_arena(self) -> None:
+        """Refresh the fused-walk handles after a register-file buffer swap
+        (:meth:`ArenaRegisterFile.adopt_buffers`); ``check_invariants``
+        asserts these handles alias the live buffers."""
+        self._cells = self.registers._payload
+        self._side = self.registers._objects
 
     # ------------------------------------------------------------------
     # invariants / sizing
