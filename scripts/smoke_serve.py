@@ -40,8 +40,10 @@ import re
 import signal
 import subprocess
 import sys
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
+from urllib.error import HTTPError
 from urllib.request import Request, urlopen
 
 REPO = Path(__file__).resolve().parent.parent
@@ -150,6 +152,44 @@ def run_pool(workers: int) -> int:
                 agreed = list(pool.map(hammer, range(CLIENTS)))
             check(all(agreed), f"{CLIENTS} concurrent clients agree via the pool")
 
+            # --- live updates route to the owning shard ----------------
+            non_edge = next(
+                (a, b)
+                for a in range(graph.n)
+                for b in range(graph.n)
+                if a != b and (a, b) not in set(solutions)
+            )
+            page, cursor = client.enumerate_page(spec, query, limit=5)
+            pinned = client.last_index_meta["index_version"]
+            check(
+                page == solutions[:5] and pinned == 0,
+                "pool cursor minted at version 0",
+            )
+            check(
+                client.update(spec, query, "insert", non_edge) == 1,
+                "pool /v1/update reaches the owning shard and bumps to 1",
+            )
+            check(
+                client.test(spec, query, non_edge) is True,
+                "post-update probe sees the new generation via the router",
+            )
+            try:
+                client.enumerate_page(
+                    spec, query, cursor=cursor, cursor_version=pinned
+                )
+            except ServiceClientError as exc:
+                check(
+                    exc.status == 409
+                    and exc.payload["error"]["type"] == "StaleCursor",
+                    "pool pre-update cursor -> typed 409 StaleCursor",
+                )
+            else:
+                check(False, "pool stale cursor was not rejected")
+            check(
+                client.update(spec, query, "delete", non_edge) == 2,
+                "pool delete bumps the version to 2",
+            )
+
             # --- aggregated stats + worker attribution ----------------
             stats = client.stats()
             check(stats["pool"]["workers"] == workers, "stats reports worker count")
@@ -164,6 +204,15 @@ def run_pool(workers: int) -> int:
             check(
                 len(stats["workers"]) == workers,
                 "per-worker stats blocks present",
+            )
+            versions = [
+                version
+                for worker in stats["workers"]
+                for version in (worker.get("cache", {}).get("versions") or {}).values()
+            ]
+            check(
+                2 in versions,
+                "/v1/stats reports the updated index version",
             )
             body = json.dumps({**spec, "query": query, "tuple": [0, 0]}).encode()
             request = Request(
@@ -261,6 +310,56 @@ def main(argv: list[str] | None = None) -> int:
             f"{CLIENTS} simultaneous cold misses -> exactly one build",
         )
 
+        # --- live updates: repair -> changed answer -> stale cursor ---
+        non_edge2 = next(
+            (u, v)
+            for u in range(48)
+            for v in range(48)
+            if u != v and (u, v) not in set(cold_solutions)
+        )
+        page, cursor = client.enumerate_page(SPEC, cold_query, limit=5)
+        pinned = client.last_index_meta["index_version"]
+        check(
+            page == cold_solutions[:5] and pinned == 0,
+            "cursor minted at version 0",
+        )
+        check(
+            client.test(SPEC, cold_query, non_edge2) is False,
+            "edge absent before the update",
+        )
+        check(
+            client.update(SPEC, cold_query, "insert", non_edge2) == 1,
+            "/v1/update repairs in place and bumps the version to 1",
+        )
+        check(
+            client.test(SPEC, cold_query, non_edge2) is True,
+            "inserted edge answers True after the ball-local repair",
+        )
+        try:
+            client.enumerate_page(
+                SPEC, cold_query, cursor=cursor, cursor_version=pinned
+            )
+        except ServiceClientError as exc:
+            check(
+                exc.status == 409
+                and exc.payload["error"]["type"] == "StaleCursor",
+                "pre-update cursor -> typed 409 StaleCursor",
+            )
+        else:
+            check(False, "stale cursor was not rejected")
+        updated_oracle = build_index(
+            random_tree(48, seed=9).with_edge(*non_edge2), cold_query
+        )
+        check(
+            list(client.enumerate(SPEC, cold_query, page_size=7))
+            == list(updated_oracle.enumerate()),
+            "fresh cursor completes against the updated generation",
+        )
+        check(
+            client.update(SPEC, cold_query, "delete", non_edge2) == 2,
+            "delete bumps the version to 2",
+        )
+
         # --- /metrics: the paper's instrumentation is live ------------
         dump = client.metrics()
         check(dump["collecting"] is True, "/metrics registry is collecting")
@@ -292,9 +391,24 @@ def main(argv: list[str] | None = None) -> int:
                 "X-Trace-Id echoed on the response",
             )
             check(json.load(response)["ok"] is True, "traced request answers")
-        with urlopen(url + f"/v1/traces?trace_id={trace_id}", timeout=60) as response:
-            recorded = json.load(response)["trace"]
-        check(recorded["trace_id"] == trace_id, "/v1/traces returns the trace")
+        # the trace is published after the response is flushed, so the
+        # immediate fetch can race it: retry the 404 briefly
+        recorded = None
+        for _ in range(50):
+            try:
+                with urlopen(
+                    url + f"/v1/traces?trace_id={trace_id}", timeout=60
+                ) as response:
+                    recorded = json.load(response)["trace"]
+                break
+            except HTTPError as exc:
+                if exc.code != 404:
+                    raise
+                time.sleep(0.1)
+        check(
+            recorded is not None and recorded["trace_id"] == trace_id,
+            "/v1/traces returns the trace",
+        )
         roots = recorded["tree"]
         child_names = {child["name"] for child in roots[0]["children"]}
         check(

@@ -7,20 +7,22 @@ dense) colored graphs, after pseudo-linear preprocessing.
 
 Quickstart::
 
-    from repro import ColoredGraph, build_index
+    from repro import ColoredGraph, open_index
     from repro.graphs import grid
 
     g = grid(30, 30)
-    index = build_index(g, "dist(x, y) > 2 & Blue(y)")
+    index = open_index(g, "dist(x, y) > 2 & Blue(y)")
     index.test((0, 5))                 # Corollary 2.4
     index.next_solution((0, 0))        # Theorem 2.3
     for x, y in index.enumerate():     # Corollary 2.5
         ...
+    index.insert_edge(0, 31).version   # live updates (docs/updates.md)
 
 See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
 reproduced claims.
 """
 
+from repro.api import open_index
 from repro.core.config import EngineConfig
 from repro.core.counting import CountingIndex, count_solutions
 from repro.core.engine import Page, QueryIndex, build_index
@@ -37,6 +39,7 @@ __version__ = "1.0.0"
 __all__ = [
     "QueryIndex",
     "Page",
+    "open_index",
     "build_index",
     "EngineConfig",
     "ReproError",

@@ -73,12 +73,14 @@ class DynamicUnaryIndex:
                 f"dynamic maintenance needs a certified locality radius: {phi!r}"
             )
         self.radius = radius
-        self._members = {v for v in graph.vertices() if self._holds(v)}
+        # the store is the *only* copy of the solution set: a shadow set
+        # could drift from it if a store edit raised mid-_refresh
+        members = sorted(v for v in graph.vertices() if self._holds(v))
         self._store = StoredFunction(
             max(graph.n, 1),
             1,
             eps=eps,
-            items=(((v,), True) for v in sorted(self._members)),
+            items=(((v,), True) for v in members),
             layout=layout,
         )
 
@@ -103,13 +105,11 @@ class DynamicUnaryIndex:
         """
         for v in bounded_bfs(self.graph, [center], self.radius):
             now = self._holds(v)
-            before = v in self._members
+            before = (v,) in self._store
             if now and not before:
                 self._store[(v,)] = True
-                self._members.add(v)
             elif before and not now:
                 del self._store[(v,)]
-                self._members.discard(v)
 
     # ------------------------------------------------------------------
     # updates
@@ -132,7 +132,7 @@ class DynamicUnaryIndex:
     @constant_time(note="queries stay constant-time under updates")
     def test(self, v: int) -> bool:
         """Constant-time membership (Corollary 2.4's contract)."""
-        return v in self._members
+        return 0 <= v < self.graph.n and (v,) in self._store
 
     @constant_time(note="one stored-function successor query")
     def next_solution(self, lower: int) -> int | None:
@@ -147,4 +147,4 @@ class DynamicUnaryIndex:
         return [v for (v,) in self._store.keys()]
 
     def __len__(self) -> int:
-        return len(self._members)
+        return len(self._store)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.baselines.naive import NaiveIndex
 from repro.contracts import constant_time, delay, frozen_after_build, pseudo_linear, read_only
@@ -85,12 +85,51 @@ class QueryIndex:
     method: str
     preprocessing_seconds: float
     _impl: object
+    _static_fingerprint: str | None = None
+    _version: int = 0
 
     @property
     @read_only
     def arity(self) -> int:
         """Number of free variables / output tuple width."""
         return len(self.free_order)
+
+    @property
+    @read_only
+    def version(self) -> int:
+        """Monotone update generation: 0 when freshly built, +1 per applied
+        :meth:`insert_edge` / :meth:`delete_edge`.  Two indexes answer for
+        the same graph state iff their :attr:`fingerprint` pairs match."""
+        return self._version
+
+    @property
+    @read_only
+    def static_fingerprint(self) -> str:
+        """The build-request fingerprint (graph at version 0, query, order,
+        method, config) — constant across the whole update lineage.
+
+        :func:`build_index` stamps it from the exact request arguments so
+        it equals the serve cache's key; indexes constructed by other
+        means compute a best-effort equivalent lazily.
+        """
+        if self._static_fingerprint is not None:
+            return self._static_fingerprint
+        from repro.persist.fingerprint import index_fingerprint
+
+        return index_fingerprint(
+            self.graph, self.phi, free_order=self.free_order, method=self.method
+        )
+
+    @property
+    @read_only
+    def fingerprint(self) -> tuple[str, int]:
+        """The generation-aware identity ``(static_fingerprint, version)``.
+
+        The pair distinguishes update generations of one lineage where the
+        static fingerprint alone cannot: cursors, snapshots and the serve
+        cache compare both components (see ``docs/updates.md``).
+        """
+        return (self.static_fingerprint, self._version)
 
     @property
     @read_only
@@ -260,6 +299,61 @@ class QueryIndex:
         out["levels"] = levels
         return out
 
+    @read_only
+    def registers(self) -> dict:
+        """The semantically-determined register file, for differential
+        testing: a repaired index and a from-scratch rebuild at the same
+        graph state dump equal (see :func:`repro.core.repair.register_dump`)."""
+        from repro.core.repair import register_dump
+
+        return register_dump(self)
+
+    @pseudo_linear(note="ball-local repair (repro.core.repair); self untouched")
+    @read_only
+    def insert_edge(self, u: int, v: int) -> "QueryIndex":
+        """A new index for ``graph + {u, v}`` at :attr:`version` + 1.
+
+        Updates are *persistent*: ``self`` keeps answering for its own
+        generation (readers mid-enumeration are undisturbed) and the
+        returned index shares every register the update did not damage —
+        only structures whose ``N_rho`` neighborhoods intersect the
+        touched ball around ``{u, v}`` are recomputed (Removal-Lemma
+        localization; see ``docs/updates.md``).  Raises ``ValueError``
+        on self-loops or already-present edges, ``IndexError`` on
+        out-of-range vertices.
+        """
+        return self._with_update(u, v, inserted=True)
+
+    @pseudo_linear(note="ball-local repair (repro.core.repair); self untouched")
+    @read_only
+    def delete_edge(self, u: int, v: int) -> "QueryIndex":
+        """A new index for ``graph - {u, v}`` at :attr:`version` + 1.
+
+        Same persistent-update contract as :meth:`insert_edge`.  Raises
+        ``ValueError`` when the edge is absent.
+        """
+        return self._with_update(u, v, inserted=False)
+
+    @pseudo_linear(note="delegates to the ball-local repair entry point")
+    @read_only
+    def _with_update(self, u: int, v: int, inserted: bool) -> "QueryIndex":
+        from repro.core.repair import repaired_impl
+
+        new_graph = (
+            self.graph.with_edge(u, v) if inserted else self.graph.without_edge(u, v)
+        )
+        start = time.perf_counter()
+        impl = repaired_impl(self.graph, new_graph, self._impl, u, v, inserted)
+        elapsed = time.perf_counter() - start
+        _metrics_observe("engine.update_seconds", elapsed)
+        return replace(
+            self,
+            graph=new_graph,
+            _impl=impl,
+            preprocessing_seconds=elapsed,
+            _version=self._version + 1,
+        )
+
 
 @constant_time(note="one pass over k coordinates, k fixed")
 def _clamp_start(start: tuple[int, ...], n: int) -> tuple[int, ...] | None:
@@ -295,6 +389,10 @@ def build_index(
 ) -> QueryIndex:
     """Preprocess ``graph`` for ``query`` (Theorem 2.3's preprocessing).
 
+    :func:`repro.api.open_index` is the preferred front door (same
+    behaviour, keyword-only configuration); this name is kept stable for
+    existing callers and snapshots.
+
     Parameters
     ----------
     graph:
@@ -320,6 +418,13 @@ def build_index(
     order = _resolve_order(phi, free_order)
     if method not in ("auto", "indexed", "naive"):
         raise ValueError(f"unknown method {method!r}")
+    # stamp the static fingerprint from the *request* arguments (raw
+    # free_order, requested method) so it equals the serve cache's key
+    from repro.persist.fingerprint import index_fingerprint
+
+    static = index_fingerprint(
+        graph, phi, free_order=free_order, config=config, method=method
+    )
     start = time.perf_counter()
     with _trace_span("engine.build_index", method=method, arity=len(order)) as sp:
         if method == "naive":
@@ -338,7 +443,9 @@ def build_index(
             sp.attributes["chosen"] = chosen
     elapsed = time.perf_counter() - start
     _metrics_observe("engine.preprocessing_seconds", elapsed)
-    return QueryIndex(graph, phi, order, chosen, elapsed, impl)
+    return QueryIndex(
+        graph, phi, order, chosen, elapsed, impl, _static_fingerprint=static
+    )
 
 
 def _resolve_order(

@@ -117,6 +117,63 @@ class ColoredGraph:
             self._adj[v].add(u)
             self._edge_count += 1
 
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete the undirected edge ``{u, v}``.
+
+        Raises :class:`ValueError` when the edge is absent — callers that
+        want idempotence should guard with :meth:`has_edge`.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise ValueError(f"edge ({u}, {v}) not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._edge_count -= 1
+
+    def with_edge(self, u: int, v: int) -> "ColoredGraph":
+        """A structurally shared copy with edge ``{u, v}`` added.
+
+        Only the adjacency sets of ``u`` and ``v`` are fresh; every other
+        vertex shares its neighbor set with ``self`` (O(n) pointer copies,
+        not O(n + m)).  The returned graph must therefore never be mutated
+        in place — it exists for the persistent update path in
+        :mod:`repro.core.repair`, where each version is frozen on arrival.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u} not allowed")
+        if v in self._adj[u]:
+            raise ValueError(f"edge ({u}, {v}) already present")
+        out = ColoredGraph.__new__(ColoredGraph)
+        out._n = self._n
+        out._adj = list(self._adj)
+        out._adj[u] = self._adj[u] | {v}
+        out._adj[v] = self._adj[v] | {u}
+        out._edge_count = self._edge_count + 1
+        out._colors = dict(self._colors)
+        return out
+
+    def without_edge(self, u: int, v: int) -> "ColoredGraph":
+        """A structurally shared copy with edge ``{u, v}`` removed.
+
+        Same sharing contract as :meth:`with_edge`: treat the result as
+        immutable.  Raises :class:`ValueError` when the edge is absent.
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adj[u]:
+            raise ValueError(f"edge ({u}, {v}) not present")
+        out = ColoredGraph.__new__(ColoredGraph)
+        out._n = self._n
+        out._adj = list(self._adj)
+        out._adj[u] = self._adj[u] - {v}
+        out._adj[v] = self._adj[v] - {u}
+        out._edge_count = self._edge_count - 1
+        out._colors = dict(self._colors)
+        return out
+
     def set_color(self, name: str, members: Iterable[int]) -> None:
         """Define (or replace) the extension of color ``name``."""
         member_set = set(members)

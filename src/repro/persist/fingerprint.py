@@ -44,7 +44,13 @@ from repro.logic.syntax import Formula, Var
 #: older) snapshots and fall back to a rebuild.
 #: v2: tries may pickle as flat-arena register files (compressed raw
 #: array buffers) and ``StoredFunction`` records its layout.
-FORMAT_VERSION = 2
+#: v3: ``QueryIndex`` carries the versioned identity
+#: ``(static_fingerprint, version)`` for live edge updates; pre-v3
+#: pickles lack those fields.  The fingerprint itself stays the *static*
+#: component — an updated index snapshots under its version-0 key, so
+#: the whole update lineage shares one snapshot slot and reloading it
+#: resumes at the persisted version, not at 0.
+FORMAT_VERSION = 3
 
 #: EngineConfig fields that do not affect the built structure.
 _BUILD_ONLY_FIELDS = frozenset({"workers", "layout"})

@@ -298,6 +298,26 @@ class IndexCache:
             self._insert(key, index)
             self.stats["snapshot_loads"] += 1
 
+    def replace(self, key: str, index: QueryIndex) -> None:
+        """Publish a new update generation under an existing fingerprint.
+
+        ``/v1/update`` repairs a warm index into a new generation
+        (version + 1) and republishes it here so every later request for
+        the same static fingerprint answers at the new version.  The
+        snapshot (if any) is overwritten so the lineage survives both
+        eviction and restart — rebuilding from the graph *spec* would
+        silently rewind to version 0.
+        """
+        with self._lock:
+            self._insert(key, index)
+        if self.snapshot_dir is not None:
+            try:
+                save_index(index, cache_path(self.snapshot_dir, key), key)
+            except OSError as exc:
+                logger.warning(
+                    "could not write snapshot for %s: %s", key[:12], exc
+                )
+
     def drop(self, key: str) -> bool:
         """Evict one fingerprint; True if it was cached."""
         with self._lock:
@@ -316,5 +336,11 @@ class IndexCache:
                 "max_entries": self.max_entries,
                 "in_flight_builds": len(self._building),
                 "snapshot_dir": str(self.snapshot_dir) if self.snapshot_dir else None,
+                # update generation per warm entry (abridged fingerprints),
+                # so /v1/stats shows which version each shard answers at
+                "versions": {
+                    key[:12]: index.version
+                    for key, index in self._entries.items()
+                },
                 **dict(self.stats),
             }

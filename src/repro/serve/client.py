@@ -102,13 +102,23 @@ class ServiceClient:
         cursor: Sequence[int] | None = None,
         limit: int | None = None,
         method: str = "auto",
+        cursor_version: int | None = None,
     ) -> tuple[list[tuple[int, ...]], tuple[int, ...] | None]:
-        """One page: ``(items, next_cursor)``; resume by passing the cursor."""
+        """One page: ``(items, next_cursor)``; resume by passing the cursor.
+
+        Pass the ``index_version`` from :attr:`last_index_meta` as
+        ``cursor_version`` to pin the page to one update generation — a
+        mid-enumeration ``/v1/update`` then surfaces as a
+        :class:`ServiceClientError` with ``status == 409`` instead of
+        silently mixing generations.
+        """
         payload: dict[str, Any] = {**graph, "query": query, "method": method}
         if cursor is not None:
             payload["cursor"] = list(cursor)
         if limit is not None:
             payload["limit"] = limit
+        if cursor_version is not None:
+            payload["cursor_version"] = cursor_version
         reply = self._post("/v1/enumerate", payload)
         items = [tuple(item) for item in reply["items"]]
         next_cursor = reply["next_cursor"]
@@ -122,15 +132,51 @@ class ServiceClient:
         page_size: int | None = None,
         method: str = "auto",
     ) -> Iterator[tuple[int, ...]]:
-        """All solutions ``>= start``, fetching pages transparently."""
+        """All solutions ``>= start``, fetching pages transparently.
+
+        The first page pins the index version; later pages carry it as
+        ``cursor_version``, so a concurrent update raises a 409
+        :class:`ServiceClientError` rather than splicing two generations
+        into one stream.
+        """
         cursor = None if start is None else tuple(start)
+        pinned: int | None = None
         while True:
             items, cursor = self.enumerate_page(
-                graph, query, cursor=cursor, limit=page_size, method=method
+                graph, query, cursor=cursor, limit=page_size, method=method,
+                cursor_version=pinned,
             )
+            if pinned is None and isinstance(self.last_index_meta, dict):
+                pinned = self.last_index_meta.get("index_version")
             yield from items
             if cursor is None:
                 return
+
+    def update(
+        self,
+        graph: dict[str, Any],
+        query: str,
+        op: str,
+        edge: Sequence[int],
+        method: str = "auto",
+    ) -> int:
+        """Apply one edge update (``/v1/update``); returns the new version.
+
+        ``op`` is ``"insert"`` or ``"delete"``; ``edge`` the ``(u, v)``
+        endpoints.  The server repairs the warm index ball-locally into
+        version + 1 (see ``docs/updates.md``).
+        """
+        reply = self._post(
+            "/v1/update",
+            {
+                **graph,
+                "query": query,
+                "method": method,
+                "op": op,
+                "edge": list(edge),
+            },
+        )
+        return int(reply["version"])
 
     def batch(
         self,
@@ -139,22 +185,25 @@ class ServiceClient:
         calls: Sequence[tuple[str, Sequence[int]]],
         method: str = "auto",
     ) -> list[Any]:
-        """N test/next calls in one round trip (``/v1/batch``).
+        """N test/next/update calls in one round trip (``/v1/batch``).
 
-        ``calls`` is a sequence of ``(op, tuple)`` pairs with ``op`` one of
-        ``"test"`` / ``"next"``; the reply is position-aligned — a bool per
-        ``test`` call, a solution tuple or ``None`` per ``next`` call.
+        ``calls`` is a sequence of ``(op, values)`` pairs: ``("test", t)``
+        / ``("next", t)`` probe with tuple ``t``, while
+        ``("insert", (u, v))`` / ``("delete", (u, v))`` apply an edge
+        update in place in the sequence.  The reply is position-aligned —
+        a bool per ``test``, a solution tuple or ``None`` per ``next``,
+        and an ``{"applied", "version"}`` dict per update; probes after
+        an update answer against the updated generation.
         """
+        shaped = []
+        for op, values in calls:
+            if op in ("insert", "delete"):
+                shaped.append({"op": "update", "action": op, "edge": list(values)})
+            else:
+                shaped.append({"op": op, "tuple": list(values)})
         reply = self._post(
             "/v1/batch",
-            {
-                **graph,
-                "query": query,
-                "method": method,
-                "calls": [
-                    {"op": op, "tuple": list(values)} for op, values in calls
-                ],
-            },
+            {**graph, "query": query, "method": method, "calls": shaped},
         )
         return [
             tuple(item) if isinstance(item, list) else item

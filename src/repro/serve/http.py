@@ -9,11 +9,16 @@ Routes (all JSON unless negotiated otherwise)::
 
     POST /v1/test       {graph spec, "query", "tuple"}       -> {"value": bool}
     POST /v1/next       {graph spec, "query", "tuple"}       -> {"solution": [...]|null}
-    POST /v1/enumerate  {graph spec, "query", "cursor"?, "limit"?}
-                                                 -> {"items": [...], "next_cursor"}
+    POST /v1/enumerate  {graph spec, "query", "cursor"?, "cursor_version"?,
+                         "limit"?}   -> {"items": [...], "next_cursor"}
+                                        (409 StaleCursor when cursor_version
+                                         no longer matches the index)
     POST /v1/count      {graph spec, "query"}                -> {"count": int}
     POST /v1/explain    {"query"}                            -> {"decomposable": ...}
-    POST /v1/batch      {graph spec, "query", "calls": [{"op", "tuple"}, ...]}
+    POST /v1/update     {graph spec, "query", "op": "insert"|"delete",
+                         "edge": [u, v]}         -> {"applied", "version"}
+    POST /v1/batch      {graph spec, "query", "calls": [{"op", "tuple"} |
+                         {"op": "update", "action", "edge"}, ...]}
                                                  -> {"results": [...]}
     GET  /metrics       registry dump + cache stats (JSON), or Prometheus
                         text exposition via ``Accept: text/plain`` /
@@ -76,6 +81,7 @@ _POST_ROUTES = {
     "/v1/enumerate": "handle_enumerate",
     "/v1/count": "handle_count",
     "/v1/explain": "handle_explain",
+    "/v1/update": "handle_update",
     "/v1/batch": "handle_batch",
 }
 

@@ -483,16 +483,21 @@ class PoolServer:
         path: str,
         body: bytes | None,
         headers: dict[str, str],
+        idempotent: bool = True,
     ) -> tuple[int, dict[str, str], bytes]:
         """Proxy one request to worker ``wid`` over a pooled connection.
 
         Retries exactly once on a transport error (a worker respawn kills
-        its keep-alive connections; every routed endpoint is a read, so
-        the retry is idempotent).
+        its keep-alive connections; reads retry safely).  Callers proxying
+        a request that mutates worker state — ``/v1/update``, which bumps
+        the index version — pass ``idempotent=False``: a request that may
+        already have been *applied* before the transport error must not be
+        replayed, so those fail fast with a 503 instead.
         """
         link = self._links[wid]
         last_error: Exception | None = None
-        for attempt in (0, 1):
+        attempts = (0, 1) if idempotent else (0,)
+        for attempt in attempts:
             conn = link.get_conn(self.request_timeout)
             try:
                 conn.request(method, path, body=body, headers=headers)
@@ -599,6 +604,26 @@ def _rss_kb() -> int | None:
 # ----------------------------------------------------------------------
 
 
+def _mutates_index(path: str, payload: Any) -> bool:
+    """Does this routed request bump an index version on its worker?
+
+    ``/v1/update`` always does; ``/v1/batch`` does when any call is an
+    update.  Such requests must not be transparently retried by the
+    router — a replay after a transport error could apply the same edge
+    update twice.
+    """
+    if path == "/v1/update":
+        return True
+    if path == "/v1/batch" and isinstance(payload, dict):
+        calls = payload.get("calls")
+        if isinstance(calls, list):
+            return any(
+                isinstance(call, dict) and call.get("op") == "update"
+                for call in calls
+            )
+    return False
+
+
 class RouterHandler(BaseHTTPRequestHandler):
     """The parent's public-port handler: route, proxy, aggregate.
 
@@ -648,7 +673,7 @@ class RouterHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, ValueError):
             payload = None  # worker 0 renders the canonical 400
         wid = self.pool.worker_for(payload)
-        self._proxy(wid, "POST", body)
+        self._proxy(wid, "POST", body, idempotent=not _mutates_index(path, payload))
 
     def _proxy_to_worker(self, method: str, body: bytes | None) -> None:
         query = parse_qs(urlsplit(self.path).query)
@@ -667,7 +692,9 @@ class RouterHandler(BaseHTTPRequestHandler):
             return
         self._proxy(wid, method, body)
 
-    def _proxy(self, wid: int, method: str, body: bytes | None) -> None:
+    def _proxy(
+        self, wid: int, method: str, body: bytes | None, idempotent: bool = True
+    ) -> None:
         headers: dict[str, str] = {}
         for name in ("Content-Type", "X-Trace-Id"):
             value = self.headers.get(name)
@@ -675,7 +702,7 @@ class RouterHandler(BaseHTTPRequestHandler):
                 headers[name] = value
         try:
             status, reply_headers, data = self.pool.forward(
-                wid, method, self.path, body, headers
+                wid, method, self.path, body, headers, idempotent=idempotent
             )
         except PoolWorkerUnavailable as exc:
             self._reply_error(503, "PoolWorkerUnavailable", str(exc))

@@ -69,6 +69,20 @@ class ServiceUnavailable(ServeError):
     http_status = 503
 
 
+class StaleCursor(ServeError):
+    """A cursor pinned to an older index version (HTTP 409).
+
+    Pagination is *cursor-stable across updates*: a cursor minted at
+    version ``k`` either completes against version ``k`` or fails with
+    this typed conflict — the service never silently mixes pages from
+    different generations.  Clients restart the enumeration (or pin the
+    old generation by keeping their own reference) on 409.
+    """
+
+    exit_code = 2
+    http_status = 409
+
+
 @guarded_by("_lock", "_entries")
 class GraphStore:
     """A small LRU of loaded graphs, each with its content digest.
@@ -206,6 +220,10 @@ class QueryService:
         #: Filled by the pool's worker bootstrap; merged into ``stats()``
         #: so ``/v1/stats`` reports per-worker occupancy.
         self.worker_stats_fn = None
+        #: Serializes ``/v1/update`` applications per service: an update
+        #: re-fetches the current generation inside the lock, so two
+        #: concurrent updates compound instead of overwriting each other.
+        self._update_lock = threading.Lock()
         self.graphs = GraphStore(graph_root, max_entries=graph_cache_entries)
         self.cache = IndexCache(
             max_entries=cache_entries,
@@ -240,6 +258,11 @@ class QueryService:
         ``cursor`` is the tuple to resume from (from the previous
         response's ``next_cursor``); ``limit`` defaults to
         ``default_page_size`` and is capped at ``max_page_size``.
+
+        ``cursor_version`` (optional) pins the enumeration to one update
+        generation: when it no longer matches the warm index's version,
+        the request fails with a typed 409 :class:`StaleCursor` instead
+        of silently mixing pages from different generations.
         """
         index, meta = self._index_for(payload)
         limit = _require_int(
@@ -249,6 +272,14 @@ class QueryService:
             raise BadRequest(
                 f"limit {limit} exceeds the page-size cap {self.max_page_size}"
             )
+        if payload.get("cursor_version") is not None:
+            pinned = _require_int(payload, "cursor_version", minimum=0)
+            if pinned != index.version:
+                raise StaleCursor(
+                    f"cursor was minted at index version {pinned} but the "
+                    f"index is now at version {index.version}; restart the "
+                    "enumeration"
+                )
         cursor = None
         if payload.get("cursor") is not None:
             cursor = _require_tuple(payload, "cursor", index.arity)
@@ -259,17 +290,54 @@ class QueryService:
             "index": meta,
         }
 
-    def handle_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """N test/next calls against one index, amortizing the round trip.
+    def handle_update(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Apply one edge update; the index moves to version + 1.
 
-        ``calls`` is a list of ``{"op": "test"|"next", "tuple": [...]}``;
+        ``{"op": "insert"|"delete", "edge": [u, v]}`` alongside the usual
+        graph spec / query / method.  The warm index is repaired
+        ball-locally (:mod:`repro.core.repair`) into a *new* generation
+        and republished under the same static fingerprint; in-flight
+        readers of the old generation finish undisturbed, and cursors
+        pinned to it get a typed 409 on their next page.  A semantically
+        invalid edge (absent on delete, present or self-loop on insert,
+        out-of-range endpoint) is a 400.
+        """
+        graph, digest, phi, method = self._resolve_request(payload)
+        op = payload.get("op")
+        if op not in ("insert", "delete"):
+            raise BadRequest(f"'op' must be 'insert' or 'delete', got {op!r}")
+        edge = _require_tuple(payload, "edge", 2)
+        updated, status, key = self._apply_update(graph, digest, phi, method, op, edge)
+        meta = {
+            "status": status,
+            "method": updated.method,
+            "arity": updated.arity,
+            "fingerprint": key[:12],
+            "index_version": updated.version,
+        }
+        return {
+            "applied": op,
+            "edge": list(edge),
+            "version": updated.version,
+            "index": meta,
+        }
+
+    def handle_batch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """N test/next/update calls against one index, amortizing the trip.
+
+        ``calls`` is a list of ``{"op": "test"|"next", "tuple": [...]}``
+        or ``{"op": "update", "action": "insert"|"delete", "edge": [u, v]}``;
         the response's ``results`` list is position-aligned (a bool per
-        ``test``, a solution list or null per ``next``).  The index is
-        resolved once, so a batch of B calls costs one cache lookup plus
-        B constant-time oracle calls — the per-call HTTP overhead that
-        dominated single-call round trips is paid once per batch.
+        ``test``, a solution list or null per ``next``, an
+        ``{"applied", "version"}`` object per ``update``).  Calls run in
+        order: test/next calls after an update in the same batch answer
+        against the updated generation.  Call *shapes* are validated
+        up front (a malformed batch applies nothing); a semantically
+        invalid edge mid-batch fails the batch after the earlier updates
+        have been applied — batches are not transactions.
         """
         index, meta = self._index_for(payload)
+        graph, digest, phi, method = self._resolve_request(payload)
         calls = payload.get("calls")
         if not isinstance(calls, list) or not calls:
             raise BadRequest("'calls' must be a non-empty list of call objects")
@@ -278,22 +346,41 @@ class QueryService:
                 f"batch of {len(calls)} calls exceeds the "
                 f"{self.max_batch_calls}-call cap"
             )
-        results: list[Any] = []
         for position, call in enumerate(calls):
             if not isinstance(call, dict):
                 raise BadRequest(f"calls[{position}] must be an object")
             op = call.get("op")
-            if op == "test":
-                values = _require_tuple(call, "tuple", index.arity)
-                results.append(index.test(values))
-            elif op == "next":
-                values = _require_tuple(call, "tuple", index.arity)
-                found = index.next_solution(values)
-                results.append(None if found is None else list(found))
+            if op in ("test", "next"):
+                _require_tuple(call, "tuple", index.arity)
+            elif op == "update":
+                if call.get("action") not in ("insert", "delete"):
+                    raise BadRequest(
+                        f"calls[{position}].action must be 'insert' or "
+                        f"'delete', got {call.get('action')!r}"
+                    )
+                _require_tuple(call, "edge", 2)
             else:
                 raise BadRequest(
-                    f"calls[{position}].op must be 'test' or 'next', got {op!r}"
+                    f"calls[{position}].op must be 'test', 'next' or "
+                    f"'update', got {op!r}"
                 )
+        results: list[Any] = []
+        for call in calls:
+            op = call["op"]
+            if op == "test":
+                results.append(index.test(_require_tuple(call, "tuple", index.arity)))
+            elif op == "next":
+                found = index.next_solution(_require_tuple(call, "tuple", index.arity))
+                results.append(None if found is None else list(found))
+            else:
+                index, _, _ = self._apply_update(
+                    graph, digest, phi, method,
+                    call["action"], _require_tuple(call, "edge", 2),
+                )
+                results.append(
+                    {"applied": call["action"], "version": index.version}
+                )
+        meta = {**meta, "index_version": index.version}
         return {"results": results, "index": meta}
 
     def handle_count(self, payload: dict[str, Any]) -> dict[str, Any]:
@@ -350,25 +437,41 @@ class QueryService:
         except ParseError as exc:
             raise BadRequest(f"bad query: {exc}") from None
 
-    def _index_for(
+    def _resolve_request(
         self, payload: dict[str, Any]
-    ) -> tuple[QueryIndex, dict[str, Any]]:
-        """Resolve graph + query to a warm index and response metadata."""
+    ) -> tuple[ColoredGraph, str, Formula, str]:
+        """The request's graph (+ digest), parsed query, and method."""
         graph, digest = self.graphs.resolve(payload)
         phi = self._parse_query(payload)
         method = payload.get("method", "auto")
         if method not in _METHODS:
             raise BadRequest(f"unknown method {method!r}; choose from {_METHODS}")
+        return graph, digest, phi, method
+
+    def _cached_index(
+        self, graph: ColoredGraph, digest: str, phi: Formula, method: str
+    ) -> tuple[QueryIndex, str]:
+        """The warm index, with build failures mapped to typed errors."""
         try:
-            index, status = self.cache.get(
-                graph, phi, method=method, graph_digest_hint=digest
-            )
+            return self.cache.get(graph, phi, method=method, graph_digest_hint=digest)
         except DecompositionError as exc:
             raise BadRequest(f"query is not decomposable: {exc}") from None
         except BuildWaitTimeout as exc:
             raise ServiceUnavailable(str(exc)) from None
         except TooManyBuilds as exc:
             raise ServiceUnavailable(str(exc)) from None
+
+    def _index_for(
+        self, payload: dict[str, Any]
+    ) -> tuple[QueryIndex, dict[str, Any]]:
+        """Resolve graph + query to a warm index and response metadata.
+
+        The ``index`` meta is the consistent response envelope: every
+        endpoint that touches an index reports its (abridged) static
+        fingerprint and current ``index_version`` alongside the result.
+        """
+        graph, digest, phi, method = self._resolve_request(payload)
+        index, status = self._cached_index(graph, digest, phi, method)
         meta = {
             "status": status,
             "method": index.method,
@@ -376,8 +479,40 @@ class QueryService:
             "fingerprint": self.cache.fingerprint(
                 graph, phi, method=method, graph_digest_hint=digest
             )[:12],
+            "index_version": index.version,
         }
         return index, meta
+
+    def _apply_update(
+        self,
+        graph: ColoredGraph,
+        digest: str,
+        phi: Formula,
+        method: str,
+        action: str,
+        edge: tuple[int, ...],
+    ) -> tuple[QueryIndex, str, str]:
+        """Repair the warm index one generation forward and republish it.
+
+        Serialized under ``_update_lock``: the *current* generation is
+        re-fetched inside the lock so concurrent updates compound.  The
+        graph spec keeps naming the version-0 graph; the lineage lives in
+        the cache (and its snapshot), keyed by the static fingerprint.
+        """
+        u, v = edge
+        key = self.cache.fingerprint(graph, phi, method=method, graph_digest_hint=digest)
+        with self._update_lock:
+            index, status = self._cached_index(graph, digest, phi, method)
+            try:
+                updated = (
+                    index.insert_edge(u, v)
+                    if action == "insert"
+                    else index.delete_edge(u, v)
+                )
+            except (ValueError, IndexError) as exc:
+                raise BadRequest(f"cannot {action} edge {list(edge)}: {exc}") from None
+            self.cache.replace(key, updated)
+        return updated, status, key
 
 
 def _require_int(
