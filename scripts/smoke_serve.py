@@ -26,7 +26,12 @@ an arena snapshot, starts ``repro serve --pool-workers N``, and asserts
 the preloaded index serves the very first request from the shared-memory
 copy, concurrent clients agree with the oracle through the router, the
 batch endpoint is position-exact, ``/v1/stats`` aggregates the pool and
-per-worker blocks, and SIGINT tears the whole process family down.
+per-worker blocks (including the pool-wide ``guarantee`` verdict), the
+parent's ``/metrics`` serves one *merged* Prometheus exposition whose
+histogram counts equal the per-worker sums, a traced request comes back
+from ``/v1/traces`` as one stitched cross-process tree (``pool.route``
+over the worker's request span), ``/v1/profile`` returns merged
+collapsed stacks, and SIGINT tears the whole process family down.
 
 Run from the repo root:
 ``python scripts/smoke_serve.py [--paranoid] [--pool N]``.
@@ -224,6 +229,93 @@ def run_pool(workers: int) -> int:
                     response.headers.get("X-Repro-Worker") is not None,
                     "responses carry X-Repro-Worker",
                 )
+            check(
+                "guarantee" in stats and stats["guarantee"]["workers"] == workers,
+                "/v1/stats carries the pool-wide guarantee block",
+            )
+
+            # --- merged Prometheus exposition --------------------------
+            with urlopen(url + "/metrics?format=prom", timeout=60) as response:
+                check(
+                    response.headers.get("Content-Type", "").startswith(
+                        "text/plain; version=0.0.4"
+                    ),
+                    "pooled Prometheus /metrics content type",
+                )
+                prom = response.read().decode()
+            metric = "repro_serve_request_seconds__v1_test"
+            merged = re.search(rf"^{metric}_count (\d+)$", prom, re.M)
+            labeled = re.findall(
+                rf'^{metric}_count\{{worker="\d+"\}} (\d+)$', prom, re.M
+            )
+            check(
+                merged is not None and labeled
+                and int(merged.group(1)) == sum(int(v) for v in labeled),
+                "merged histogram count equals the per-worker sum",
+            )
+            check(
+                f"# TYPE {metric} histogram" in prom
+                and re.search(rf'^{metric}_bucket\{{le="\+Inf"\}} ', prom, re.M)
+                is not None,
+                "merged exposition carries real le buckets",
+            )
+
+            # --- cross-process trace stitching --------------------------
+            trace_id = "feedbeeffeedbeef"
+            request = Request(
+                url + "/v1/test",
+                data=json.dumps(
+                    {**spec, "query": query, "tuple": [0, 0]}
+                ).encode(),
+                headers={
+                    "Content-Type": "application/json",
+                    "X-Trace-Id": trace_id,
+                },
+            )
+            with urlopen(request, timeout=60) as response:
+                check(
+                    response.headers.get("X-Trace-Id") == trace_id,
+                    "X-Trace-Id round-trips through the router",
+                )
+            stitched = None
+            for _ in range(50):
+                try:
+                    with urlopen(
+                        url + f"/v1/traces?trace_id={trace_id}", timeout=60
+                    ) as response:
+                        stitched = json.load(response)["trace"]
+                    break
+                except HTTPError as exc:
+                    if exc.code != 404:
+                        raise
+                    time.sleep(0.1)
+            check(
+                stitched is not None and stitched["stitched"] is True,
+                "/v1/traces returns one stitched cross-process tree",
+            )
+            root = stitched["tree"][0] if stitched["tree"] else {}
+            child_names = {c["name"] for c in root.get("children", [])}
+            check(
+                len(stitched["tree"]) == 1
+                and root.get("name") == "pool.route"
+                and "POST /v1/test" in child_names,
+                "stitched tree: pool.route over the worker's request span",
+            )
+            check(
+                any(s.startswith("worker:") for s in stitched["sources"])
+                and "parent" in stitched["sources"],
+                "stitched tree credits both processes",
+            )
+
+            # --- pool-wide sampling profiler ----------------------------
+            with urlopen(url + "/v1/profile?seconds=1", timeout=60) as response:
+                profiled = json.load(response)
+            check(
+                profiled["ok"] is True
+                and profiled["profile"]["samples"] > 0
+                and len(profiled["profile"]["stacks"]) > 0,
+                "/v1/profile merges non-empty collapsed stacks",
+            )
         finally:
             proc.send_signal(signal.SIGINT)
             try:

@@ -20,6 +20,11 @@ Commands
     (see :mod:`repro.trace`), print the span tree and per-stage totals,
     and optionally write a Chrome trace-event file or JSONL spans.
 
+``profile GRAPH QUERY [--enumerate N] [--hz HZ] [--top K] [-o FILE]``
+    Run preprocessing plus enumeration under the sampling profiler
+    (:mod:`repro.trace.profiler`), print the hottest collapsed stacks,
+    and optionally write flamegraph.pl / speedscope input.
+
 ``query FILE QUERY [--enumerate N] [--count] [--test a,b] [--next a,b]
 [--cache DIR] [--workers N] [--layout L]``
     Build the Theorem 2.3 index over the graph in FILE and answer.  With
@@ -36,7 +41,7 @@ Commands
     One-line timing summary: preprocessing, per-test, per-next.
 
 ``bench-suite [--quick] [-o FILE] [--experiments IDS] [--report FILE]``
-    Run the paper's E1-E16 experiment sweeps (no pytest-benchmark
+    Run the paper's E1-E18 experiment sweeps (no pytest-benchmark
     needed), write schema-validated results JSON, and check the O(1)
     regression gate.  See :mod:`repro.benchrunner`.
 
@@ -74,6 +79,7 @@ from repro.graphs.generators import FAMILIES
 from repro.graphs.io import read_edge_list, read_json, write_edge_list, write_json
 from repro.graphs.sparsity import degeneracy, edge_density_exponent
 from repro.logic.diagnostics import explain
+from repro.trace.profiler import DEFAULT_HZ as _PROFILE_HZ
 
 
 def _load_graph(path: str) -> ColoredGraph:
@@ -204,6 +210,59 @@ def _cmd_trace(args) -> int:
             trace.write_chrome_trace(tracer, out)
             kind = "Chrome trace-event file (load via chrome://tracing)"
         print(f"wrote {kind}: {out} ({len(tracer.spans)} spans)")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    if args.enumerate < 0:
+        raise UsageError(f"--enumerate must be >= 0, got {args.enumerate}")
+    if args.hz <= 0 or args.hz > 1000:
+        raise UsageError(f"--hz must be in (0, 1000], got {args.hz}")
+    if args.top < 1:
+        raise UsageError(f"--top must be >= 1, got {args.top}")
+    from repro.trace.profiler import SamplingProfiler, flamegraph_text
+
+    graph = _load_graph(args.graph)
+    config = _engine_config(args)
+    profiler = SamplingProfiler(hz=args.hz)
+    tick = time.perf_counter()
+    with profiler:
+        index = build_index(graph, args.query, method=args.method, config=config)
+        if args.count:
+            print(f"count: {index.count()}")
+        taken = 0
+        if args.enumerate:
+            for _solution in index.enumerate():
+                taken += 1
+                if taken >= args.enumerate:
+                    break
+            print(f"enumerated {taken} solutions")
+    elapsed = time.perf_counter() - tick
+    stacks = profiler.collapsed()
+    print(
+        f"profiled {elapsed:.2f}s at {args.hz:g} Hz: "
+        f"{profiler.samples} samples, {len(stacks)} distinct stacks"
+    )
+    total = max(1, profiler.samples)
+    shown = sorted(stacks.items(), key=lambda kv: (-kv[1], kv[0]))[: args.top]
+    for stack, count in shown:
+        leaf = stack.rsplit(";", 1)[-1]
+        print(f"  {count:6d} ({count / total:6.1%})  {leaf}")
+        if args.full_stacks:
+            print(f"           {stack}")
+    if args.output is not None:
+        out = Path(args.output)
+        out.write_text(flamegraph_text(stacks))
+        print(
+            f"wrote collapsed stacks: {out} "
+            "(feed to flamegraph.pl or speedscope)"
+        )
+    if profiler.samples == 0:
+        print(
+            "repro profile: no samples taken — the run finished faster "
+            "than one sampling interval; raise --hz or --enumerate more",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -530,6 +589,34 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(.jsonl -> jsonl, else Chrome trace-event)")
     trace_cmd.set_defaults(func=_cmd_trace)
 
+    profile_cmd = commands.add_parser(
+        "profile", help="sample-profile a query run (collapsed stacks)"
+    )
+    profile_cmd.add_argument("graph")
+    profile_cmd.add_argument("query")
+    profile_cmd.add_argument("--method", default="auto",
+                             choices=["auto", "bfs", "treedepth"])
+    profile_cmd.add_argument("--count", action="store_true")
+    profile_cmd.add_argument("--enumerate", type=int, default=1000, metavar="N",
+                             help="enumerate up to N solutions under the "
+                             "profiler (default 1000; 0 to skip)")
+    profile_cmd.add_argument("--hz", type=float, default=_PROFILE_HZ, metavar="HZ",
+                             help="sampling frequency (default %(default)s)")
+    profile_cmd.add_argument("--top", type=int, default=15, metavar="K",
+                             help="print the K hottest stacks (default 15)")
+    profile_cmd.add_argument("--full-stacks", action="store_true",
+                             help="print full root->leaf stacks, not just "
+                             "the leaf frame")
+    profile_cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                             help="parallel preprocessing workers")
+    profile_cmd.add_argument("--layout", default="auto",
+                             choices=["auto", "pointer", "arena"],
+                             help="trie storage layout (see docs/storage.md)")
+    profile_cmd.add_argument("-o", "--output", metavar="FILE", default=None,
+                             help="write collapsed stacks for flamegraph.pl "
+                             "/ speedscope")
+    profile_cmd.set_defaults(func=_cmd_profile)
+
     query = commands.add_parser("query", help="index a graph and answer")
     query.add_argument("graph")
     query.add_argument("query")
@@ -628,7 +715,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench_suite = commands.add_parser(
         "bench-suite",
-        help="run the E1-E16 experiment sweeps and the O(1) regression gate",
+        help="run the E1-E18 experiment sweeps and the O(1) regression gate",
     )
     _bench_suite_arguments(bench_suite)
     bench_suite.set_defaults(func=_cmd_bench_suite)

@@ -28,8 +28,21 @@ The ``repro bench-suite`` runner (:mod:`repro.benchrunner`) builds the
 E1–E14 measurement series on top of this package.
 """
 
-from repro.metrics.core import Counter, Histogram, MetricsRegistry, Timer
-from repro.metrics.prometheus import flatten_gauges, render_prometheus
+from repro.metrics.core import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    bucket_exponent,
+    bucket_upper_edge,
+    merge_snapshots,
+    percentile_from_buckets,
+)
+from repro.metrics.prometheus import (
+    flatten_gauges,
+    render_merged_prometheus,
+    render_prometheus,
+)
 from repro.metrics.runtime import (
     active,
     collect,
@@ -45,11 +58,16 @@ __all__ = [
     "MetricsRegistry",
     "Timer",
     "active",
+    "bucket_exponent",
+    "bucket_upper_edge",
     "collect",
     "count",
     "delay_recorder",
     "flatten_gauges",
+    "merge_snapshots",
     "observe",
+    "percentile_from_buckets",
+    "render_merged_prometheus",
     "render_prometheus",
     "time_block",
 ]

@@ -21,6 +21,30 @@ from typing import Any
 
 from repro.contracts import guarded_by
 
+#: Bucket key for non-positive samples (below every frexp exponent of a
+#: positive float, whose range is [-1073, 1024]).
+ZERO_BUCKET = -1075
+
+
+def bucket_exponent(value: float) -> int:
+    """The log-2 bucket key of ``value``: ``2**(e-1) <= value < 2**e``.
+
+    Non-positive values land in :data:`ZERO_BUCKET`.  One ``frexp`` call —
+    O(1), no log/pow, exact for every finite float.
+    """
+    if value <= 0.0:
+        return ZERO_BUCKET
+    return math.frexp(value)[1]
+
+
+def bucket_upper_edge(exponent: int) -> float:
+    """The inclusive upper edge ``2**e`` of a bucket (``inf``-safe)."""
+    if exponent == ZERO_BUCKET:
+        return 0.0
+    if exponent >= 1024:  # 2.0 ** 1024 overflows a double
+        return math.inf
+    return 2.0**exponent
+
 
 class Counter:
     """A named monotonically-increasing operation counter."""
@@ -83,12 +107,16 @@ class Timer:
         return f"Timer({self.name!r}, total={self.total:.6f}s, laps={self.laps})"
 
 
+@guarded_by(
+    "_lock", "_samples", "_sorted", "_count", "_total", "_max", "_min", "_buckets"
+)
 class Histogram:
-    """A named sample distribution with p50/p95/max summaries.
+    """A named sample distribution with p50/p95/p99/max summaries.
 
     Records raw samples (typically per-answer delays in seconds) and
-    answers percentile queries afterwards.  Recording is an O(1) append;
-    percentile queries sort on demand and cache until the next record.
+    answers percentile queries afterwards.  Recording is an O(1) locked
+    append; percentile queries sort on demand and cache until the next
+    record.
 
     Two storage modes:
 
@@ -102,6 +130,18 @@ class Histogram:
       ``total``, ``mean`` and ``max`` stay *exact* in both modes — they
       are tracked as running aggregates, not derived from the stored
       samples.
+
+    Alongside either sample store the histogram maintains **fixed
+    log-2 buckets** (one ``frexp`` per record, O(1) memory in the number
+    of distinct magnitudes): bucket ``e`` counts samples in
+    ``[2**(e-1), 2**e)``.  Bucket counts are *exact* and mergeable —
+    :meth:`to_mergeable` exports them and :meth:`merge` adds snapshots
+    from different processes bucket-by-bucket, which is what the pool
+    parent's merged ``/metrics`` exposition is built on.
+
+    All mutation happens under ``_lock`` so concurrent server threads
+    never lose a record (a bare ``+=`` on an attribute is not atomic in
+    CPython).  The lock is uncontended on single-threaded bench runs.
     """
 
     __slots__ = (
@@ -112,7 +152,10 @@ class Histogram:
         "_count",
         "_total",
         "_max",
+        "_min",
+        "_buckets",
         "_rng",
+        "_lock",
     )
 
     def __init__(self, name: str, max_samples: int | None = None) -> None:
@@ -125,27 +168,36 @@ class Histogram:
         self._count = 0
         self._total = 0.0
         self._max = 0.0
+        self._min = math.inf
+        #: frexp exponent -> exact sample count (see :func:`bucket_exponent`).
+        self._buckets: dict[int, int] = {}
         self._rng: random.Random | None = (
             None if max_samples is None else random.Random(hash(name) & 0xFFFFFFFF)
         )
+        self._lock = threading.Lock()
 
     def record(self, value: float) -> None:
         """Add one sample (O(1) amortized; O(1) memory in reservoir mode)."""
-        self._count += 1
-        self._total += value
-        if value > self._max:
-            self._max = value
-        if self.max_samples is None or len(self._samples) < self.max_samples:
-            self._samples.append(value)
-        else:
-            # Vitter's algorithm R: keep each of the _count samples with
-            # equal probability max_samples / _count
-            slot = self._rng.randrange(self._count)
-            if slot < self.max_samples:
-                self._samples[slot] = value
+        exp = bucket_exponent(value)
+        with self._lock:
+            self._count += 1
+            self._total += value
+            if value > self._max:
+                self._max = value
+            if value < self._min:
+                self._min = value
+            self._buckets[exp] = self._buckets.get(exp, 0) + 1
+            if self.max_samples is None or len(self._samples) < self.max_samples:
+                self._samples.append(value)
             else:
-                return  # stored set unchanged: keep the sorted cache
-        self._sorted = None
+                # Vitter's algorithm R: keep each of the _count samples with
+                # equal probability max_samples / _count
+                slot = self._rng.randrange(self._count)
+                if slot < self.max_samples:
+                    self._samples[slot] = value
+                else:
+                    return  # stored set unchanged: keep the sorted cache
+            self._sorted = None
 
     @property
     def count(self) -> int:
@@ -177,10 +229,13 @@ class Histogram:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if not self._samples:
             return 0.0
-        if self._sorted is None:
-            self._sorted = sorted(self._samples)
-        rank = math.ceil(q / 100 * len(self._sorted)) - 1
-        return self._sorted[max(0, rank)]
+        ordered = self._sorted
+        if ordered is None:
+            ordered = sorted(self._samples)
+            with self._lock:
+                self._sorted = ordered
+        rank = math.ceil(q / 100 * len(ordered)) - 1
+        return ordered[max(0, rank)]
 
     @property
     def p50(self) -> float:
@@ -190,18 +245,95 @@ class Histogram:
     def p95(self) -> float:
         return self.percentile(95)
 
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
     def summary(self) -> dict[str, float]:
-        """The reporting payload: count, mean, p50, p95, max."""
+        """The reporting payload: count, mean, p50, p95, p99, max."""
         return {
             "count": float(self.count),
             "mean": self.mean,
             "p50": self.p50,
             "p95": self.p95,
+            "p99": self.p99,
             "max": self.max,
+        }
+
+    def to_mergeable(self) -> dict[str, Any]:
+        """A JSON-safe, *mergeable* snapshot of the exact aggregates.
+
+        The snapshot carries no raw samples — only the running count /
+        total / min / max and the exact log-2 bucket counts — so two
+        snapshots from different processes merge losslessly with
+        :meth:`merge`.  Bucket keys are stringified exponents (JSON
+        object keys must be strings).
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "count": self._count,
+                "total": self._total,
+                "min": self._min if self._count else 0.0,
+                "max": self._max,
+                "buckets": {str(exp): n for exp, n in sorted(self._buckets.items())},
+            }
+
+    @staticmethod
+    def merge(snapshots: list[dict[str, Any]]) -> dict[str, Any]:
+        """Merge :meth:`to_mergeable` snapshots (same shape back out).
+
+        Counts, totals and bucket counts add exactly; min/max combine.
+        An empty input merges to an empty histogram snapshot.
+        """
+        name = snapshots[0]["name"] if snapshots else ""
+        count = 0
+        total = 0.0
+        low = math.inf
+        high = 0.0
+        buckets: dict[int, int] = {}
+        for snap in snapshots:
+            count += int(snap["count"])
+            total += float(snap["total"])
+            if snap["count"]:
+                low = min(low, float(snap["min"]))
+                high = max(high, float(snap["max"]))
+            for key, n in snap["buckets"].items():
+                exp = int(key)
+                buckets[exp] = buckets.get(exp, 0) + int(n)
+        return {
+            "name": name,
+            "count": count,
+            "total": total,
+            "min": low if count else 0.0,
+            "max": high,
+            "buckets": {str(exp): n for exp, n in sorted(buckets.items())},
         }
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count})"
+
+
+def percentile_from_buckets(snapshot: dict[str, Any], q: float) -> float:
+    """Estimate the ``q``-th percentile from a mergeable snapshot.
+
+    Walks the cumulative bucket counts to the nearest-rank bucket and
+    returns its inclusive upper edge ``2**e`` — so for a true sample
+    ``v > 0`` the estimate lies in ``[v, 2v)`` (one bucket width), and
+    is clamped to the snapshot's exact ``max``.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    count = int(snapshot["count"])
+    if count == 0:
+        return 0.0
+    rank = max(1, math.ceil(q / 100 * count))
+    seen = 0
+    for exp in sorted(int(key) for key in snapshot["buckets"]):
+        seen += int(snapshot["buckets"][str(exp)])
+        if seen >= rank:
+            return min(bucket_upper_edge(exp), float(snapshot["max"]))
+    return float(snapshot["max"])
 
 
 @guarded_by("_create_lock", "counters", "timers", "histograms")
@@ -269,3 +401,60 @@ class MetricsRegistry:
             },
             "op_counts": dict(sorted(self.op_counts.items())),
         }
+
+    def export(self) -> dict[str, Any]:
+        """The *mergeable* wire format of this registry.
+
+        Unlike :meth:`snapshot` (summaries for humans), ``export``
+        carries exact, additive state: counter values, timer totals/laps,
+        op counts, and per-histogram :meth:`Histogram.to_mergeable`
+        bucket snapshots.  ``merge_snapshots`` combines any number of
+        these (one per pool worker) into a single equivalent export.
+        """
+        return {
+            "version": 1,
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "timers": {
+                name: {"total": t.total, "laps": t.laps}
+                for name, t in sorted(self.timers.items())
+            },
+            "histograms": {
+                name: h.to_mergeable() for name, h in sorted(self.histograms.items())
+            },
+            "op_counts": dict(sorted(self.op_counts.items())),
+        }
+
+
+def merge_snapshots(exports: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge :meth:`MetricsRegistry.export` payloads into one.
+
+    Counters, timer totals/laps and op counts add; histograms merge
+    bucket-by-bucket via :meth:`Histogram.merge`.  The result has the
+    same shape as a single export, so merging is associative and the
+    pool parent can treat N workers as one logical process.
+    """
+    counters: dict[str, int] = {}
+    timers: dict[str, dict[str, float]] = {}
+    histogram_parts: dict[str, list[dict[str, Any]]] = {}
+    op_counts: dict[str, int] = {}
+    for export in exports:
+        for name, value in export.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + int(value)
+        for name, timer in export.get("timers", {}).items():
+            slot = timers.setdefault(name, {"total": 0.0, "laps": 0})
+            slot["total"] += float(timer["total"])
+            slot["laps"] += int(timer["laps"])
+        for name, snap in export.get("histograms", {}).items():
+            histogram_parts.setdefault(name, []).append(snap)
+        for name, calls in export.get("op_counts", {}).items():
+            op_counts[name] = op_counts.get(name, 0) + int(calls)
+    return {
+        "version": 1,
+        "counters": dict(sorted(counters.items())),
+        "timers": dict(sorted(timers.items())),
+        "histograms": {
+            name: Histogram.merge(parts)
+            for name, parts in sorted(histogram_parts.items())
+        },
+        "op_counts": dict(sorted(op_counts.items())),
+    }

@@ -85,6 +85,7 @@ def render_prometheus(
             lines.append(f"# TYPE {metric} summary")
             lines.append(f'{metric}{{quantile="0.5"}} {_fmt(histogram.p50)}')
             lines.append(f'{metric}{{quantile="0.95"}} {_fmt(histogram.p95)}')
+            lines.append(f'{metric}{{quantile="0.99"}} {_fmt(histogram.p99)}')
             lines.append(f"{metric}_count {_fmt(histogram.count)}")
             lines.append(f"{metric}_sum {_fmt(histogram.total)}")
 
@@ -104,6 +105,111 @@ def render_prometheus(
         lines.append(f"# HELP {metric} repro gauge {name}")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {_fmt(value)}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_merged_prometheus(
+    worker_exports: dict[str, dict[str, Any]],
+    gauges: dict[str, float] | None = None,
+    worker_gauges: dict[str, dict[str, float]] | None = None,
+) -> str:
+    """Pool-wide text exposition from per-worker mergeable exports.
+
+    ``worker_exports`` maps a worker label (``"0"``, ``"1"``, ...) to that
+    worker's :meth:`MetricsRegistry.export` payload.  Each family gets
+
+    * one **merged** unlabeled series (counts/totals added exactly via
+      :func:`repro.metrics.core.merge_snapshots`), and
+    * one ``{worker="N"}``-labeled series per worker for attribution.
+
+    Histograms render as true Prometheus ``histogram`` type: cumulative
+    ``_bucket{le="2**e"}`` series from the merged log-2 buckets, plus
+    ``_count``/``_sum`` (merged unlabeled and per-worker labeled) — so a
+    scraper's ``sum(rate(..._count[1m]))`` works across the pool and
+    ``histogram_quantile`` sees real buckets.  ``gauges`` are pool-level
+    (unlabeled); ``worker_gauges`` get the ``worker`` label.
+    """
+    from repro.metrics.core import bucket_upper_edge, merge_snapshots
+
+    merged = merge_snapshots(list(worker_exports.values()))
+    workers = sorted(worker_exports, key=lambda w: (len(w), w))
+    lines: list[str] = []
+
+    def per_worker(section: str, name: str) -> list[tuple[str, Any]]:
+        pairs = []
+        for wid in workers:
+            value = worker_exports[wid].get(section, {}).get(name)
+            if value is not None:
+                pairs.append((wid, value))
+        return pairs
+
+    for name, value in merged["counters"].items():
+        metric = _metric_name(name, "_total")
+        lines.append(f"# HELP {metric} repro counter {name} (pool-merged)")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_fmt(value)}")
+        for wid, wval in per_worker("counters", name):
+            lines.append(f'{metric}{{worker="{_label_value(wid)}"}} {_fmt(wval)}')
+
+    for name, timer in merged["timers"].items():
+        seconds = _metric_name(name, "_seconds_total")
+        lines.append(f"# HELP {seconds} repro timer {name} accumulated seconds")
+        lines.append(f"# TYPE {seconds} counter")
+        lines.append(f"{seconds} {_fmt(timer['total'])}")
+        for wid, wval in per_worker("timers", name):
+            lines.append(
+                f'{seconds}{{worker="{_label_value(wid)}"}} {_fmt(wval["total"])}'
+            )
+        laps = _metric_name(name, "_laps_total")
+        lines.append(f"# HELP {laps} repro timer {name} lap count")
+        lines.append(f"# TYPE {laps} counter")
+        lines.append(f"{laps} {_fmt(timer['laps'])}")
+        for wid, wval in per_worker("timers", name):
+            lines.append(
+                f'{laps}{{worker="{_label_value(wid)}"}} {_fmt(wval["laps"])}'
+            )
+
+    for name, snap in merged["histograms"].items():
+        metric = _metric_name(name)
+        lines.append(f"# HELP {metric} repro histogram {name} (pool-merged)")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for exp in sorted(int(key) for key in snap["buckets"]):
+            edge = bucket_upper_edge(exp)
+            if edge == float("inf"):
+                break  # folded into the final +Inf bucket
+            cumulative += int(snap["buckets"][str(exp)])
+            lines.append(f'{metric}_bucket{{le="{_fmt(edge)}"}} {_fmt(cumulative)}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {_fmt(snap["count"])}')
+        lines.append(f"{metric}_count {_fmt(snap['count'])}")
+        lines.append(f"{metric}_sum {_fmt(snap['total'])}")
+        for wid, wsnap in per_worker("histograms", name):
+            label = f'worker="{_label_value(wid)}"'
+            lines.append(f"{metric}_count{{{label}}} {_fmt(wsnap['count'])}")
+            lines.append(f"{metric}_sum{{{label}}} {_fmt(wsnap['total'])}")
+
+    if merged["op_counts"]:
+        metric = "repro_contract_calls_total"
+        lines.append(f"# HELP {metric} calls per contracted function (pool-merged)")
+        lines.append(f"# TYPE {metric} counter")
+        for function, calls in merged["op_counts"].items():
+            lines.append(
+                f'{metric}{{function="{_label_value(function)}"}} {_fmt(calls)}'
+            )
+
+    for name, value in sorted((gauges or {}).items()):
+        metric = _metric_name(name)
+        lines.append(f"# HELP {metric} repro gauge {name}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(value)}")
+
+    for wid in sorted(worker_gauges or {}, key=lambda w: (len(w), w)):
+        for name, value in sorted((worker_gauges or {})[wid].items()):
+            metric = _metric_name(name)
+            lines.append(
+                f'{metric}{{worker="{_label_value(wid)}"}} {_fmt(value)}'
+            )
 
     return "\n".join(lines) + "\n" if lines else ""
 

@@ -1,0 +1,31 @@
+"""Pool-wide observability plane (``repro.obs``).
+
+PR 5 made the paper's constant-delay guarantee observable *per
+process*: a watchdog, a trace buffer and a Prometheus exposition inside
+one worker.  Since PR 8 production traffic runs through a pre-fork pool
+— so the evidence has to be aggregated, mergeable and attributable
+across the whole process family.  This package is the glue:
+
+* :mod:`repro.obs.stitch` — reassemble per-process trace payloads
+  (routing parent + workers, each with its own ``perf_counter`` origin)
+  into one tree per trace id, Chrome-trace exportable;
+* :mod:`repro.obs.slo` — aggregate watchdog budgets, violation burn
+  rates and per-endpoint latency percentiles pool-wide into the
+  ``guarantee`` block of the parent's ``/v1/stats``.
+
+The mergeable-metrics wire format itself lives in
+:mod:`repro.metrics.core` (``MetricsRegistry.export`` /
+``merge_snapshots``) and the sampling profiler in
+:mod:`repro.trace.profiler`; this package only *combines* — it is never
+imported on a hot path and carries no ``@constant_time`` obligations.
+"""
+
+from repro.obs.slo import aggregate_guarantee, endpoint_latency_summary
+from repro.obs.stitch import stitch_traces, stitched_to_chrome_trace
+
+__all__ = [
+    "aggregate_guarantee",
+    "endpoint_latency_summary",
+    "stitch_traces",
+    "stitched_to_chrome_trace",
+]

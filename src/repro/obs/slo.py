@@ -1,0 +1,93 @@
+"""Pool-wide SLO aggregation: the guarantee block of ``/v1/stats``.
+
+Corollary 2.5's constant-delay promise is checked per worker by the
+:class:`~repro.trace.watchdog.Watchdog` (self-calibrated per-step
+budget, violation counters).  At pool scale the question becomes *did
+the budget hold across all workers*, with enough attribution to find
+the one worker that burned it.  :func:`aggregate_guarantee` folds the
+per-worker watchdog snapshots into one verdict (``held``), total
+violation counts and a **burn rate** (violations per observed step —
+the SLO error-budget dial), keeping per-worker budgets so a worker
+whose calibration drifted stands out.
+
+:func:`endpoint_latency_summary` reads the merged mergeable-metrics
+export and reports p50/p95/p99 per endpoint from the exact log-2 bucket
+counts (:func:`repro.metrics.core.percentile_from_buckets` — estimates
+within one bucket width, i.e. at most 2x), merged across the pool.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.metrics.core import percentile_from_buckets
+
+#: Histogram-name prefix the HTTP layer records request latencies under.
+ENDPOINT_PREFIX = "serve.request_seconds."
+
+
+def aggregate_guarantee(
+    worker_watchdogs: dict[str, dict[str, Any] | None],
+) -> dict[str, Any]:
+    """Fold per-worker watchdog snapshots into one pool-wide verdict.
+
+    ``worker_watchdogs`` maps a worker label to that worker's
+    ``/v1/stats`` ``watchdog`` block (or None for a worker running
+    without a watchdog / currently unreachable — counted but never
+    claimed as "held").
+    """
+    snapshots = {w: s for w, s in worker_watchdogs.items() if s is not None}
+    steps = sum(int(s.get("steps_seen", 0)) for s in snapshots.values())
+    delay = sum(int(s.get("violations", {}).get("delay", 0)) for s in snapshots.values())
+    ops = sum(int(s.get("violations", {}).get("ops", 0)) for s in snapshots.values())
+    budgets = [
+        float(s["budget_seconds"])
+        for s in snapshots.values()
+        if s.get("budget_seconds") is not None
+    ]
+    return {
+        "held": bool(snapshots) and delay == 0 and ops == 0,
+        "workers": len(worker_watchdogs),
+        "reporting": len(snapshots),
+        "calibrated": sum(1 for s in snapshots.values() if s.get("calibrated")),
+        "steps_seen": steps,
+        "violations": {"delay": delay, "ops": ops},
+        "burn_rate": {
+            "delay": delay / steps if steps else 0.0,
+            "ops": ops / steps if steps else 0.0,
+        },
+        "budget_seconds": {
+            "min": min(budgets) if budgets else None,
+            "max": max(budgets) if budgets else None,
+        },
+        "per_worker": {w: worker_watchdogs[w] for w in sorted(worker_watchdogs)},
+    }
+
+
+def endpoint_latency_summary(
+    merged_export: dict[str, Any],
+    prefix: str = ENDPOINT_PREFIX,
+) -> dict[str, dict[str, float]]:
+    """Per-endpoint p50/p95/p99 from a merged mergeable-metrics export.
+
+    Looks for histograms named ``<prefix><endpoint>`` in a
+    :func:`repro.metrics.core.merge_snapshots` result and summarizes
+    each from its exact bucket counts.  Percentiles are bucket
+    upper-edge estimates (within one log-2 bucket width of the true
+    value); ``count``/``mean``/``max`` are exact.
+    """
+    summary: dict[str, dict[str, float]] = {}
+    for name, snap in merged_export.get("histograms", {}).items():
+        if not name.startswith(prefix):
+            continue
+        endpoint = name[len(prefix):]
+        count = int(snap.get("count", 0))
+        summary[endpoint] = {
+            "count": float(count),
+            "mean": float(snap["total"]) / count if count else 0.0,
+            "p50": percentile_from_buckets(snap, 50),
+            "p95": percentile_from_buckets(snap, 95),
+            "p99": percentile_from_buckets(snap, 99),
+            "max": float(snap.get("max", 0.0)),
+        }
+    return summary

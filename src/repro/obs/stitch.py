@@ -1,0 +1,156 @@
+"""Cross-process trace stitching.
+
+Each process traces independently: the pool's routing parent records a
+``pool.route`` span, the worker records its request span (parented
+under the parent's span via the propagated ``X-Parent-Span`` header)
+and every ``enumerate.step`` under that.  Every process serializes its
+own :meth:`~repro.trace.core.Tracer.to_dict` payload with timestamps
+relative to its *own* ``perf_counter`` origin — two origins from two
+processes are not comparable.
+
+:func:`stitch_traces` merges any number of such payloads for one trace
+id into a single tree: spans are re-based onto a shared wall-clock
+timeline using each payload's ``started_at`` anchor, linked by the
+``span_id``/``parent_id`` edges (which *are* valid across processes —
+the worker's root span carries the parent's span id), and orphans are
+re-rooted rather than dropped.  :func:`stitched_to_chrome_trace` turns
+the result into ``chrome://tracing`` events with one row (pid) per
+source process.
+
+Wall clocks on one host agree to well under a millisecond, which is
+plenty for visualizing a multi-millisecond proxy hop; the stitcher
+never *reorders* parent/child edges based on time, so a small clock
+skew can only shift bars, not break the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def _flatten(nodes: list[dict[str, Any]], out: list[dict[str, Any]]) -> None:
+    for node in nodes:
+        out.append(node)
+        _flatten(node.get("children", []), out)
+
+
+def stitch_traces(payloads: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge per-process trace payloads into one stitched tree.
+
+    ``payloads`` are :meth:`Tracer.to_dict` shapes (as stored by the
+    trace buffer and served by ``/v1/traces``), optionally carrying a
+    ``source`` key (``"parent"``, ``"worker:0"``, ...) stamped by the
+    fan-in code.  Returns a payload of the same general shape with
+    ``stitched: true``, all spans on one ``start_seconds`` timeline
+    anchored at the earliest payload's ``started_at``, and every span
+    carrying its ``source``.  Payloads for other trace ids are ignored
+    (first payload's id wins); an empty input stitches to an empty
+    tree.
+    """
+    if not payloads:
+        return {"trace_id": None, "stitched": True, "spans": 0, "tree": []}
+    trace_id = payloads[0].get("trace_id")
+    relevant = [p for p in payloads if p.get("trace_id") == trace_id]
+    base = min(float(p.get("started_at", 0.0)) for p in relevant)
+
+    flat: dict[str, dict[str, Any]] = {}
+    order: list[str] = []
+    sources: list[str] = []
+    dropped = 0
+    name = relevant[0].get("name")
+    for payload in relevant:
+        source = payload.get("source", "local")
+        if source not in sources:
+            sources.append(source)
+        dropped += int(payload.get("dropped", 0))
+        if payload.get("parent_span_id") is None and payload.get("name"):
+            name = payload["name"]  # the root process labels the whole trace
+        offset = float(payload.get("started_at", base)) - base
+        nodes: list[dict[str, Any]] = []
+        _flatten(payload.get("tree", []), nodes)
+        for node in nodes:
+            span_id = node.get("span_id")
+            if span_id is None or span_id in flat:
+                continue  # ids are 64-bit-random; a dup means a resent payload
+            copy = {k: v for k, v in node.items() if k != "children"}
+            copy["start_seconds"] = float(node.get("start_seconds", 0.0)) + offset
+            copy["source"] = source
+            copy["children"] = []
+            flat[span_id] = copy
+            order.append(span_id)
+
+    roots: list[dict[str, Any]] = []
+    for span_id in sorted(order, key=lambda sid: flat[sid]["start_seconds"]):
+        node = flat[span_id]
+        parent = flat.get(node.get("parent_id")) if node.get("parent_id") else None
+        if parent is None:
+            roots.append(node)  # true root, or orphan re-rooted (never lost)
+        else:
+            parent["children"].append(node)
+
+    duration = 0.0
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        end = node["start_seconds"] + float(node.get("duration_seconds", 0.0))
+        duration = max(duration, end)
+        stack.extend(node["children"])
+
+    return {
+        "trace_id": trace_id,
+        "name": name,
+        "started_at": base,
+        "spans": len(flat),
+        "dropped": dropped,
+        "sources": sources,
+        "stitched": True,
+        "duration_seconds": duration,
+        "tree": roots,
+    }
+
+
+def stitched_to_chrome_trace(stitched: dict[str, Any]) -> dict[str, Any]:
+    """A stitched tree as Chrome trace-event JSON (one pid per source).
+
+    Load the result (``json.dump`` it) into ``chrome://tracing`` or
+    Perfetto: each source process gets its own row, spans are complete
+    events (``ph: "X"``) with microsecond timestamps on the shared
+    stitched timeline.
+    """
+    sources = list(stitched.get("sources", []))
+    events: list[dict[str, Any]] = []
+    for source in sources:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": sources.index(source),
+                "tid": 0,
+                "args": {"name": f"repro {source}"},
+            }
+        )
+    stack = [(node, None) for node in stitched.get("tree", [])]
+    while stack:
+        node, _ = stack.pop()
+        source = node.get("source", "local")
+        pid = sources.index(source) if source in sources else 0
+        events.append(
+            {
+                "ph": "X",
+                "name": node.get("name", "span"),
+                "pid": pid,
+                "tid": 0,
+                "ts": float(node.get("start_seconds", 0.0)) * 1e6,
+                "dur": float(node.get("duration_seconds", 0.0)) * 1e6,
+                "args": dict(node.get("attributes", {})),
+            }
+        )
+        stack.extend((child, node) for child in node.get("children", []))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "trace_id": stitched.get("trace_id"),
+            "sources": sources,
+        },
+    }

@@ -227,6 +227,74 @@ class ServiceClient:
         """The ``/v1/stats`` dump (knobs + cache occupancy)."""
         return self._get("/v1/stats")
 
+    def export(self) -> dict[str, Any]:
+        """The ``/v1/export`` mergeable metrics/watchdog wire payload."""
+        return self._get("/v1/export")
+
+    def prometheus(self) -> str:
+        """The ``/metrics`` endpoint as Prometheus text exposition.
+
+        Against a pool parent this is the *merged* pool-wide exposition
+        with per-worker ``{worker="N"}`` series.
+        """
+        request = Request(
+            self.base_url + "/metrics?format=prom",
+            headers={"Accept": "text/plain"},
+            method="GET",
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except HTTPError as exc:
+            raise ServiceClientError(
+                f"HTTP {exc.code}: {exc}", status=exc.code
+            ) from None
+        except URLError as exc:
+            raise ServiceClientError(
+                f"could not reach {self.base_url}: {exc.reason}"
+            ) from None
+
+    def traces(
+        self,
+        trace_id: str | None = None,
+        worker: int | str | None = None,
+        limit: int | None = None,
+    ) -> dict[str, Any]:
+        """``/v1/traces``: recent summaries, or one (stitched) tree.
+
+        Against a pool parent, ``worker`` filters to one worker's local
+        view (``worker="all"`` / None stitches across the pool); a
+        single server ignores it.
+        """
+        params: list[str] = []
+        if trace_id is not None:
+            params.append(f"trace_id={trace_id}")
+        if worker is not None:
+            params.append(f"worker={worker}")
+        if limit is not None:
+            params.append(f"limit={limit}")
+        suffix = "?" + "&".join(params) if params else ""
+        return self._get("/v1/traces" + suffix)
+
+    def profile(
+        self, seconds: float = 1.0, hz: float | None = None
+    ) -> dict[str, Any]:
+        """``/v1/profile``: collapsed stacks (merged pool-wide on a parent).
+
+        Blocks for ~``seconds``.  The client timeout is stretched to
+        cover the sampling window.
+        """
+        suffix = f"?seconds={seconds:g}"
+        if hz is not None:
+            suffix += f"&hz={hz:g}"
+        request = Request(self.base_url + "/v1/profile" + suffix, method="GET")
+        saved = self.timeout
+        self.timeout = max(saved, seconds + 15.0)
+        try:
+            return self._send(request)
+        finally:
+            self.timeout = saved
+
     def health(self) -> bool:
         """True when the server answers ``/healthz``."""
         try:

@@ -24,6 +24,8 @@ Routes (all JSON unless negotiated otherwise)::
                         text exposition via ``Accept: text/plain`` /
                         ``?format=prom``
     GET  /v1/traces     recent request traces; ``?trace_id=`` for one tree
+    GET  /v1/export     mergeable metrics/watchdog wire format (pool fan-in)
+    GET  /v1/profile    sampling-profiler run (``?seconds=&hz=``), collapsed stacks
     GET  /v1/stats      knobs + cache occupancy (+ watchdog state)
     GET  /healthz       liveness
 
@@ -37,6 +39,9 @@ and the id is returned on the response.  Span *recording* happens when
 the client sent ``X-Trace-Id`` explicitly (an opt-in) or the request won
 the ``trace_sample`` coin flip; recorded traces land in the server's
 :class:`~repro.trace.buffer.TraceBuffer`, readable at ``/v1/traces``.
+A valid ``X-Parent-Span`` header (set by the pool's routing parent)
+parents the request's root span under that remote span, so the pool
+parent's ``/v1/traces`` can stitch one cross-process tree.
 A :class:`~repro.trace.watchdog.Watchdog`, when configured, consumes the
 recorded enumeration-step spans live.
 """
@@ -58,10 +63,12 @@ from repro.errors import ReproError
 from repro.metrics.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.metrics.prometheus import flatten_gauges, render_prometheus
 from repro.metrics.runtime import active as _metrics_active
+from repro.metrics.runtime import observe as _metrics_observe
 from repro.serve.service import QueryService, ServeError
 from repro.trace.buffer import DEFAULT_CAPACITY, TraceBuffer
 from repro.trace.core import new_trace_id
 from repro.trace.logging import log_event
+from repro.trace.profiler import DEFAULT_HZ, MAX_PROFILE_SECONDS, profile_for
 from repro.trace.runtime import annotate as _trace_annotate
 from repro.trace.runtime import tracing
 from repro.trace.watchdog import Watchdog
@@ -154,6 +161,10 @@ class RequestHandler(BaseHTTPRequestHandler):
             self._get_metrics()
         elif path == "/v1/traces":
             self._get_traces()
+        elif path == "/v1/export":
+            self._get_export()
+        elif path == "/v1/profile":
+            self._get_profile()
         elif path == "/v1/stats":
             payload = self.service.stats()
             if self.watchdog is not None:
@@ -181,6 +192,58 @@ class RequestHandler(BaseHTTPRequestHandler):
             gauges["trace.buffered"] = len(self.trace_buffer)
         body = render_prometheus(_metrics_active(), flatten_gauges(gauges))
         self._reply_text(200, body, _PROM_CONTENT_TYPE)
+
+    def _get_export(self) -> None:
+        """``/v1/export``: the mergeable observability wire format.
+
+        Everything the pool parent needs to aggregate this process into
+        the pool-wide picture: the active registry's exact mergeable
+        metrics export, the watchdog snapshot, and gauge-ready local
+        stats.  Plain JSON — merging happens on the parent with
+        :func:`repro.metrics.core.merge_snapshots`.
+        """
+        registry = _metrics_active()
+        gauges = {"serve.cache": self.service.cache.snapshot_stats()}
+        if self.trace_buffer is not None:
+            gauges["trace.buffered"] = len(self.trace_buffer)
+        self._reply(
+            200,
+            {
+                "ok": True,
+                "metrics": registry.export() if registry is not None else None,
+                "watchdog": (
+                    self.watchdog.snapshot() if self.watchdog is not None else None
+                ),
+                "gauges": flatten_gauges(gauges),
+            },
+        )
+
+    def _get_profile(self) -> None:
+        """``/v1/profile?seconds=N&hz=H``: sample this process's stacks.
+
+        Blocks the *handler* thread for ``seconds`` (capped) while the
+        sampler watches every other thread, so concurrent request work
+        shows up.  Returns the collapsed-stack wire payload; the pool
+        parent fans this out to all workers and merges the counts.
+        """
+        query = parse_qs(urlsplit(self.path).query)
+        try:
+            seconds = float(query.get("seconds", ["1.0"])[0])
+            hz = float(query.get("hz", [str(DEFAULT_HZ)])[0])
+        except ValueError:
+            self._error(400, "BadRequest", "'seconds' and 'hz' must be numbers")
+            return
+        if not 0.0 < seconds <= MAX_PROFILE_SECONDS:
+            self._error(
+                400,
+                "BadRequest",
+                f"'seconds' must be in (0, {MAX_PROFILE_SECONDS:g}], got {seconds:g}",
+            )
+            return
+        if not 1.0 <= hz <= 1000.0:
+            self._error(400, "BadRequest", f"'hz' must be in [1, 1000], got {hz:g}")
+            return
+        self._reply(200, {"ok": True, "profile": profile_for(seconds, hz=hz)})
 
     def _get_traces(self) -> None:
         """``/v1/traces``: recent summaries, or one full tree by trace id."""
@@ -230,6 +293,13 @@ class RequestHandler(BaseHTTPRequestHandler):
         else:
             self._trace_id = new_trace_id()
             inbound = None
+        # the pool's routing parent names its pool.route span so the
+        # worker's request span nests under it when stitched
+        parent_span = self.headers.get("X-Parent-Span")
+        if parent_span is None or not _TRACE_ID_RE.match(parent_span):
+            parent_span = None
+        else:
+            parent_span = parent_span.lower()
         # record spans when the client opted in (explicit X-Trace-Id) or the
         # request won the sampling coin flip; otherwise the span hooks stay
         # no-ops and the request costs exactly what it did before tracing
@@ -246,6 +316,7 @@ class RequestHandler(BaseHTTPRequestHandler):
                 f"POST {path}",
                 trace_id=self._trace_id,
                 observers=observers,
+                parent_span_id=parent_span,
                 endpoint=path,
             ) as tracer:
                 info = self._dispatch(path, handler_name)
@@ -260,6 +331,9 @@ class RequestHandler(BaseHTTPRequestHandler):
         else:
             info = self._dispatch(path, handler_name)
         elapsed_ms = (time.perf_counter() - started) * 1000
+        # per-endpoint latency in the mergeable histogram the pool's SLO
+        # layer aggregates (no-op without an active registry)
+        _metrics_observe(f"serve.request_seconds.{path}", elapsed_ms / 1000)
         if self.slow_ms is not None and elapsed_ms > self.slow_ms:
             index_meta = info.get("index") or {}
             log_event(

@@ -53,16 +53,27 @@ from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro import __version__
+from repro.metrics.core import merge_snapshots
+from repro.metrics.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.metrics.prometheus import flatten_gauges, render_merged_prometheus
+from repro.obs.slo import aggregate_guarantee, endpoint_latency_summary
+from repro.obs.stitch import stitch_traces
 from repro.persist import SNAPSHOT_SUFFIX, SnapshotError, load_index, read_header
 from repro.serve.http import (
     DEFAULT_MAX_BODY_BYTES,
     _POST_ROUTES,
+    _TRACE_ID_RE,
     build_handler,
     read_request_body,
 )
 from repro.serve.service import QueryService, ServeError
 from repro.storage.shared import SharedArena, share_index, shared_map_stats
+from repro.trace.buffer import DEFAULT_CAPACITY, TraceBuffer
 from repro.trace.logging import log_event
+from repro.trace.profiler import DEFAULT_HZ, MAX_PROFILE_SECONDS, merge_profiles
+from repro.trace.runtime import current_span as _current_span
+from repro.trace.runtime import span as _span
+from repro.trace.runtime import tracing
 
 logger = logging.getLogger("repro.serve.pool")
 
@@ -222,6 +233,14 @@ class PoolServer:
         self.max_body_bytes = max_body_bytes
         self.trace_capacity = trace_capacity
         self.trace_sample = trace_sample
+        # the parent's own ring of pool.route traces — stitched against
+        # the workers' buffers by /v1/traces (same 0-disables convention
+        # as build_handler)
+        self.trace_buffer: TraceBuffer | None = (
+            None
+            if trace_capacity == 0
+            else TraceBuffer(trace_capacity or DEFAULT_CAPACITY)
+        )
         self.slow_ms = slow_ms
         self.watchdog_factory = watchdog_factory
         self.preload = preload
@@ -557,17 +576,207 @@ class PoolServer:
         return out
 
     def aggregate_stats(self) -> dict[str, Any]:
+        """Pool + per-worker stats, plus the pool-wide ``guarantee`` block.
+
+        The guarantee block folds every worker's watchdog snapshot into
+        one verdict (did the constant-delay budget hold across the whole
+        family), violation burn rates, and per-endpoint p50/p95/p99 from
+        the merged request-latency histograms.
+        """
+        workers = self._fan_in("/v1/stats")
+        exports = self._fan_in_exports()
+        watchdogs: dict[str, dict[str, Any] | None] = {
+            str(entry["worker_id"]): entry.get("watchdog")
+            for entry in exports
+            if "worker_id" in entry
+        }
+        merged = merge_snapshots(
+            [e["metrics"] for e in exports if e.get("metrics") is not None]
+        )
         return {
             "ok": True,
             "pool": self.pool_stats(),
-            "workers": self._fan_in("/v1/stats"),
+            "guarantee": aggregate_guarantee(watchdogs),
+            "endpoints": endpoint_latency_summary(merged),
+            "workers": workers,
         }
 
     def aggregate_metrics(self) -> dict[str, Any]:
+        exports = self._fan_in_exports()
+        merged = merge_snapshots(
+            [e["metrics"] for e in exports if e.get("metrics") is not None]
+        )
         return {
             "ok": True,
             "pool": self.pool_stats(),
+            "merged": merged,
             "workers": self._fan_in("/metrics"),
+        }
+
+    def _fan_in_exports(self) -> list[dict[str, Any]]:
+        """Every worker's ``/v1/export`` payload (errors become entries)."""
+        return self._fan_in("/v1/export")
+
+    def merged_prometheus(self) -> str:
+        """One pool-wide Prometheus exposition from the worker exports.
+
+        Each family carries a merged unlabeled series plus per-worker
+        ``{worker="N"}`` series; histograms come out as true Prometheus
+        histograms with ``le`` buckets from the exact merged log-2
+        bucket counts.  Pool-level stats become gauges; worker gauges
+        (cache occupancy etc.) keep the worker label.
+        """
+        exports = self._fan_in_exports()
+        worker_exports: dict[str, dict[str, Any]] = {}
+        worker_gauges: dict[str, dict[str, float]] = {}
+        for entry in exports:
+            wid = entry.get("worker_id")
+            if wid is None or "error" in entry:
+                continue
+            label = str(wid)
+            if entry.get("metrics") is not None:
+                worker_exports[label] = entry["metrics"]
+            gauges = dict(entry.get("gauges") or {})
+            if entry.get("watchdog") is not None:
+                gauges.update(flatten_gauges(entry["watchdog"], "watchdog"))
+            if gauges:
+                worker_gauges[label] = gauges
+        pool_gauges = flatten_gauges(
+            {k: v for k, v in self.pool_stats().items() if k != "worker_pids"},
+            "pool",
+        )
+        return render_merged_prometheus(
+            worker_exports, gauges=pool_gauges, worker_gauges=worker_gauges
+        )
+
+    # -- cross-process traces / profiles ------------------------------------
+
+    def stitched_trace(self, trace_id: str) -> dict[str, Any] | None:
+        """One stitched tree for ``trace_id`` across parent + workers.
+
+        Collects the parent's own ``pool.route`` trace (if recorded) and
+        every worker's buffered payload for the id, then stitches them
+        onto one timeline.  Returns None when no process recorded it.
+        """
+        payloads: list[dict[str, Any]] = []
+        if self.trace_buffer is not None:
+            own = self.trace_buffer.get(trace_id)
+            if own is not None:
+                own = dict(own)
+                own["source"] = "parent"
+                payloads.append(own)
+        for link in self._links:
+            try:
+                status, _, data = self.forward(
+                    link.wid, "GET", f"/v1/traces?trace_id={trace_id}", None, {}
+                )
+                payload = json.loads(data.decode("utf-8"))
+            except (PoolWorkerUnavailable, ValueError):
+                continue
+            if status != 200 or not payload.get("ok"):
+                continue
+            trace = dict(payload["trace"])
+            trace["source"] = f"worker:{link.wid}"
+            payloads.append(trace)
+        if not payloads:
+            return None
+        return stitch_traces(payloads)
+
+    def aggregate_traces(self, limit: int) -> dict[str, Any]:
+        """Recent-trace summaries across parent + all workers.
+
+        Entries for the same trace id (the parent's ``pool.route`` hop
+        and the worker's request trace) are folded into one summary with
+        a ``sources`` list; fetch ``?trace_id=`` for the stitched tree.
+        """
+        grouped: dict[str, dict[str, Any]] = {}
+
+        def fold(entries: list[dict[str, Any]], source: str) -> None:
+            for entry in entries:
+                tid = entry.get("trace_id")
+                if tid is None:
+                    continue
+                slot = grouped.setdefault(
+                    tid,
+                    {
+                        "trace_id": tid,
+                        "name": entry.get("name"),
+                        "started_at": entry.get("started_at"),
+                        "spans": 0,
+                        "sources": [],
+                    },
+                )
+                if source == "parent":
+                    slot["name"] = entry.get("name", slot["name"])
+                slot["spans"] += int(entry.get("spans", 0))
+                if source not in slot["sources"]:
+                    slot["sources"].append(source)
+                started = entry.get("started_at")
+                if started is not None and (
+                    slot["started_at"] is None or started < slot["started_at"]
+                ):
+                    slot["started_at"] = started
+
+        if self.trace_buffer is not None:
+            fold(self.trace_buffer.recent(limit), "parent")
+        for link in self._links:
+            try:
+                status, _, data = self.forward(
+                    link.wid, "GET", f"/v1/traces?limit={limit}", None, {}
+                )
+                payload = json.loads(data.decode("utf-8"))
+            except (PoolWorkerUnavailable, ValueError):
+                continue
+            if status != 200 or not payload.get("ok"):
+                continue
+            fold(payload.get("traces", []), f"worker:{link.wid}")
+        traces = sorted(
+            grouped.values(), key=lambda t: t.get("started_at") or 0.0, reverse=True
+        )[:limit]
+        return {"ok": True, "worker": "all", "traces": traces}
+
+    def aggregate_profile(self, seconds: float, hz: float) -> dict[str, Any]:
+        """Profile every worker concurrently and merge the stacks.
+
+        Each worker samples its own threads for ``seconds``; the fan-out
+        runs on parallel threads over *fresh* connections (the pooled
+        keep-alive connections have a shorter timeout than a long profile
+        run), so wall clock is ~``seconds``, not ``workers * seconds``.
+        """
+        results: dict[int, dict[str, Any]] = {}
+        lock = threading.Lock()
+
+        def one(link: _WorkerLink) -> None:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", link.port, timeout=seconds + 10.0
+            )
+            try:
+                conn.request("GET", f"/v1/profile?seconds={seconds:g}&hz={hz:g}")
+                response = conn.getresponse()
+                payload = json.loads(response.read().decode("utf-8"))
+            except (http.client.HTTPException, OSError, ValueError):
+                return
+            finally:
+                conn.close()
+            if payload.get("ok"):
+                with lock:
+                    results[link.wid] = payload["profile"]
+
+        threads = [
+            threading.Thread(target=one, args=(link,), daemon=True)
+            for link in self._links
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        merged = merge_profiles([results[wid] for wid in sorted(results)])
+        return {
+            "ok": True,
+            "profile": merged,
+            "workers": {
+                str(wid): results[wid].get("samples", 0) for wid in sorted(results)
+            },
         }
 
 
@@ -629,9 +838,15 @@ class RouterHandler(BaseHTTPRequestHandler):
 
     All JSON work on this path is one ``json.loads`` per request (for the
     routing key) — index lookups, graph loads and oracle calls happen in
-    the workers.  ``/healthz`` answers locally; ``/v1/stats`` and
-    ``/metrics`` fan in; ``/v1/traces`` proxies to one worker
-    (``?worker=N``, default 0) since trace buffers are per-process.
+    the workers.  ``/healthz`` answers locally; ``/v1/stats`` fans in and
+    adds the pool-wide ``guarantee`` block; ``/metrics`` fans in (JSON)
+    or serves one *merged* Prometheus exposition (``Accept: text/plain``
+    / ``?format=prom``); ``/v1/traces`` stitches one cross-process tree
+    per trace id (``?worker=N`` filters to one worker's local view);
+    ``/v1/profile`` samples every worker at once and merges the collapsed
+    stacks.  Requests carrying ``X-Trace-Id`` get a ``pool.route`` span
+    recorded here, with the span id propagated to the worker via
+    ``X-Parent-Span``.
     """
 
     pool: PoolServer
@@ -652,11 +867,96 @@ class RouterHandler(BaseHTTPRequestHandler):
         elif path == "/v1/stats":
             self._reply_json(200, self.pool.aggregate_stats())
         elif path == "/metrics":
+            self._get_metrics()
+        elif path == "/v1/export":
             self._reply_json(200, self.pool.aggregate_metrics())
         elif path == "/v1/traces":
-            self._proxy_to_worker("GET", body=None)
+            self._get_traces()
+        elif path == "/v1/profile":
+            self._get_profile()
         else:
             self._reply_error(404, "not_found", f"no such route: GET {path}")
+
+    def _get_metrics(self) -> None:
+        """``/metrics``: same negotiation as a single worker.
+
+        JSON by default (pool + merged + per-worker payloads); Prometheus
+        text via ``Accept: text/plain`` or ``?format=prom`` — one merged
+        exposition with a ``worker`` label on per-worker series, so a
+        scraper pointed at the parent sees the whole pool as one target.
+        """
+        query = parse_qs(urlsplit(self.path).query)
+        accept = self.headers.get("Accept", "")
+        wants_prom = query.get("format", [""])[0] == "prom" or (
+            "text/plain" in accept and "application/json" not in accept
+        )
+        if wants_prom:
+            self._reply_text(200, self.pool.merged_prometheus(), _PROM_CONTENT_TYPE)
+        else:
+            self._reply_json(200, self.pool.aggregate_metrics())
+
+    def _get_traces(self) -> None:
+        """``/v1/traces``: stitched across the pool by default.
+
+        ``?worker=N`` keeps the old single-worker proxy as a filter;
+        ``?worker=all`` (or no ``worker``) fans in — with ``trace_id``
+        the reply is one stitched cross-process tree, without it a
+        merged recent-summary list.
+        """
+        query = parse_qs(urlsplit(self.path).query)
+        worker = query.get("worker", ["all"])[0]
+        if worker != "all":
+            self._proxy_to_worker("GET", body=None)
+            return
+        trace_id = query.get("trace_id", [None])[0]
+        if trace_id:
+            if not _TRACE_ID_RE.match(trace_id):
+                self._reply_error(
+                    400, "BadRequest", "'trace_id' must be 8-64 hex chars"
+                )
+                return
+            stitched = self.pool.stitched_trace(trace_id.lower())
+            if stitched is None:
+                self._reply_error(
+                    404,
+                    "not_found",
+                    f"no process recorded trace {trace_id!r}",
+                )
+                return
+            self._reply_json(200, {"ok": True, "trace": stitched})
+            return
+        try:
+            limit = int(query.get("limit", ["20"])[0])
+        except ValueError:
+            self._reply_error(400, "BadRequest", "'limit' must be an integer")
+            return
+        self._reply_json(200, self.pool.aggregate_traces(max(1, limit)))
+
+    def _get_profile(self) -> None:
+        """``/v1/profile``: profile every worker at once, merge the stacks."""
+        query = parse_qs(urlsplit(self.path).query)
+        try:
+            seconds = float(query.get("seconds", ["1.0"])[0])
+            hz = float(query.get("hz", [str(DEFAULT_HZ)])[0])
+        except ValueError:
+            self._reply_error(
+                400, "BadRequest", "'seconds' and 'hz' must be numbers"
+            )
+            return
+        if not 0.0 < seconds <= MAX_PROFILE_SECONDS:
+            self._reply_error(
+                400,
+                "BadRequest",
+                f"'seconds' must be in (0, {MAX_PROFILE_SECONDS:g}], "
+                f"got {seconds:g}",
+            )
+            return
+        if not 1.0 <= hz <= 1000.0:
+            self._reply_error(
+                400, "BadRequest", f"'hz' must be in [1, 1000], got {hz:g}"
+            )
+            return
+        self._reply_json(200, self.pool.aggregate_profile(seconds, hz))
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
         path = urlsplit(self.path).path
@@ -673,7 +973,41 @@ class RouterHandler(BaseHTTPRequestHandler):
         except (UnicodeDecodeError, ValueError):
             payload = None  # worker 0 renders the canonical 400
         wid = self.pool.worker_for(payload)
-        self._proxy(wid, "POST", body, idempotent=not _mutates_index(path, payload))
+        idempotent = not _mutates_index(path, payload)
+        # the router records a pool.route span when the client opted in
+        # with a valid X-Trace-Id; the root span's id is propagated to
+        # the worker (X-Parent-Span) so its request span nests under it
+        # in the stitched tree.  Without the header the router does no
+        # trace work at all.
+        inbound = self.headers.get("X-Trace-Id")
+        recording = (
+            self.pool.trace_buffer is not None
+            and inbound is not None
+            and _TRACE_ID_RE.match(inbound) is not None
+        )
+        if not recording:
+            self._proxy(wid, "POST", body, idempotent=idempotent)
+            return
+        with tracing(
+            "pool.route",
+            trace_id=inbound.lower(),
+            endpoint=path,
+            worker=wid,
+            shards=self.pool.shards,
+        ) as tracer:
+            # the still-open pool.route root span is the worker's parent
+            current = _current_span()
+            parent_id = current.span_id if current is not None else None
+            self._proxy(
+                wid,
+                "POST",
+                body,
+                idempotent=idempotent,
+                extra_headers=(
+                    {"X-Parent-Span": parent_id} if parent_id is not None else {}
+                ),
+            )
+        self.pool.trace_buffer.add(tracer)
 
     def _proxy_to_worker(self, method: str, body: bytes | None) -> None:
         query = parse_qs(urlsplit(self.path).query)
@@ -681,7 +1015,9 @@ class RouterHandler(BaseHTTPRequestHandler):
         try:
             wid = int(raw)
         except ValueError:
-            self._reply_error(400, "BadRequest", "'worker' must be an integer")
+            self._reply_error(
+                400, "BadRequest", "'worker' must be an integer or 'all'"
+            )
             return
         if not 0 <= wid < self.pool.workers:
             self._reply_error(
@@ -693,17 +1029,25 @@ class RouterHandler(BaseHTTPRequestHandler):
         self._proxy(wid, method, body)
 
     def _proxy(
-        self, wid: int, method: str, body: bytes | None, idempotent: bool = True
+        self,
+        wid: int,
+        method: str,
+        body: bytes | None,
+        idempotent: bool = True,
+        extra_headers: dict[str, str] | None = None,
     ) -> None:
         headers: dict[str, str] = {}
         for name in ("Content-Type", "X-Trace-Id"):
             value = self.headers.get(name)
             if value is not None:
                 headers[name] = value
+        if extra_headers:
+            headers.update(extra_headers)
         try:
-            status, reply_headers, data = self.pool.forward(
-                wid, method, self.path, body, headers, idempotent=idempotent
-            )
+            with _span("pool.forward", worker=wid):
+                status, reply_headers, data = self.pool.forward(
+                    wid, method, self.path, body, headers, idempotent=idempotent
+                )
         except PoolWorkerUnavailable as exc:
             self._reply_error(503, "PoolWorkerUnavailable", str(exc))
             return
@@ -720,8 +1064,14 @@ class RouterHandler(BaseHTTPRequestHandler):
 
     def _reply_json(self, status: int, payload: dict[str, Any]) -> None:
         data = json.dumps(payload).encode("utf-8")
+        self._send_raw(status, data, "application/json")
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        self._send_raw(status, text.encode("utf-8"), content_type)
+
+    def _send_raw(self, status: int, data: bytes, content_type: str) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         try:

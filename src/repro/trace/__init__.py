@@ -44,6 +44,13 @@ from repro.trace.export import (
     write_jsonl,
 )
 from repro.trace.logging import JsonFormatter, configure, log_event
+from repro.trace.profiler import (
+    SamplingProfiler,
+    flamegraph_text,
+    merge_collapsed,
+    merge_profiles,
+    profile_for,
+)
 from repro.trace.runtime import (
     active_tracer,
     annotate,
@@ -52,14 +59,22 @@ from repro.trace.runtime import (
     span,
     tracing,
 )
-from repro.trace.watchdog import DELAY_VIOLATION, OPS_VIOLATION, STEP_SPAN, Watchdog
+from repro.trace.watchdog import (
+    DELAY_VIOLATION,
+    OPS_VIOLATION,
+    STEP_SPAN,
+    STEPS_OBSERVED,
+    Watchdog,
+)
 
 __all__ = [
     "DEFAULT_MAX_SPANS",
     "DELAY_VIOLATION",
     "JsonFormatter",
     "OPS_VIOLATION",
+    "STEPS_OBSERVED",
     "STEP_SPAN",
+    "SamplingProfiler",
     "Span",
     "TraceBuffer",
     "Tracer",
@@ -69,9 +84,13 @@ __all__ = [
     "configure",
     "current_span",
     "current_trace_id",
+    "flamegraph_text",
     "log_event",
+    "merge_collapsed",
+    "merge_profiles",
     "new_span_id",
     "new_trace_id",
+    "profile_for",
     "render_stage_totals",
     "render_tree",
     "span",

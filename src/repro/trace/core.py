@@ -117,6 +117,11 @@ class Tracer:
     trace_id:
         Externally supplied id (an inbound ``X-Trace-Id``) or None for a
         fresh one.
+    parent_span_id:
+        Span id of a *remote* parent (an inbound ``X-Parent-Span`` from
+        the pool's routing parent).  The root span of this tracer is
+        parented under it, so cross-process stitching
+        (:mod:`repro.obs.stitch`) reassembles one tree.
     max_spans:
         Hard cap on stored spans; excess spans are counted in
         ``dropped`` so truncation is visible, never silent.
@@ -132,9 +137,11 @@ class Tracer:
         trace_id: str | None = None,
         max_spans: int = DEFAULT_MAX_SPANS,
         observers: tuple = (),
+        parent_span_id: str | None = None,
     ) -> None:
         self.name = name
         self.trace_id = trace_id or new_trace_id()
+        self.parent_span_id = parent_span_id
         self.max_spans = max_spans
         self.observers = tuple(observers)
         self.started_at = time.time()  # wall-clock anchor for exports
@@ -196,6 +203,7 @@ class Tracer:
             "trace_id": self.trace_id,
             "name": self.name,
             "started_at": self.started_at,
+            "parent_span_id": self.parent_span_id,
             "spans": len(spans),
             "dropped": self.dropped,
             "duration_seconds": max(

@@ -1,0 +1,206 @@
+"""A low-overhead sampling profiler (``repro.trace.profiler``).
+
+Spans answer *where inside the instrumented pipeline* a request's time
+went; the profiler answers *where in the Python code* it went — without
+instrumenting anything.  A background thread wakes ``hz`` times per
+second, snapshots every thread's current stack via
+``sys._current_frames()``, and counts collapsed stacks
+(``module.func;module.func;...``).  No ``sys.setprofile`` /
+``sys.settrace`` hook is ever installed, so the *profiled* threads run
+at full speed between samples — the only cost is the GIL time the
+sampler spends walking frames, bounded by ``hz`` (default 97 Hz, a
+prime, so sampling never phase-locks with periodic work).  The E18
+bench gate holds enumerate-page throughput under profiling to within
+5% of baseline.
+
+Output is the collapsed-stack format Brendan Gregg's ``flamegraph.pl``
+and speedscope consume directly: one ``stack count`` line per distinct
+stack (:meth:`SamplingProfiler.flamegraph_lines`).  Collapsed counts
+from different processes merge by addition (:func:`merge_collapsed`),
+which is how the pool parent fans ``GET /v1/profile`` in across
+workers.
+
+Usage::
+
+    from repro.trace.profiler import SamplingProfiler
+
+    with SamplingProfiler(hz=97) as prof:
+        run_workload()
+    print("\\n".join(prof.flamegraph_lines()))
+
+or over HTTP: ``GET /v1/profile?seconds=2&hz=97`` on a worker or the
+pool parent, or ``repro profile graph.json "E(x, y)"`` from the shell.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any
+
+from repro.contracts import guarded_by
+
+#: Default sampling rate (prime, to avoid phase-locking periodic work).
+DEFAULT_HZ = 97.0
+
+#: Frames deeper than this are truncated (keeps collapsed keys bounded).
+MAX_STACK_DEPTH = 64
+
+#: Hard cap on one HTTP-triggered profiling run (``/v1/profile``).
+MAX_PROFILE_SECONDS = 30.0
+
+
+def _frame_label(frame: Any) -> str:
+    """``module.qualname`` for one frame (cheap: two attribute reads)."""
+    module = frame.f_globals.get("__name__", "?")
+    code = frame.f_code
+    # co_qualname is 3.11+; fall back to the bare name on 3.10.
+    return f"{module}.{getattr(code, 'co_qualname', None) or code.co_name}"
+
+
+@guarded_by("_lock", "_counts", "_samples")
+class SamplingProfiler:
+    """Samples all threads' stacks at ``hz`` and counts collapsed stacks.
+
+    ``start()`` spawns a daemon sampler thread; ``stop()`` joins it.
+    ``stop()``/``start()`` pairs accumulate into the same counts.
+    The sampler excludes itself from the collected stacks.  Counts are
+    read through :meth:`collapsed` (a snapshot copy) at any time — a
+    live ``/v1/profile`` run reads them once after ``stop()``.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ, max_depth: int = MAX_STACK_DEPTH):
+        if hz <= 0:
+            raise ValueError(f"hz must be > 0, got {hz}")
+        self.hz = float(hz)
+        self.max_depth = max_depth
+        self._counts: dict[str, int] = {}
+        self._samples = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    def __enter__(self) -> SamplingProfiler:
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        interval = 1.0 / self.hz
+        own_id = threading.get_ident()
+        # Resume from the published state so stop()/start() accumulates.
+        with self._lock:
+            counts = dict(self._counts)
+            taken = self._samples
+        while not self._stop.wait(interval):
+            frames = sys._current_frames()
+            for thread_id, frame in frames.items():
+                if thread_id == own_id:
+                    continue
+                stack: list[str] = []
+                depth = 0
+                while frame is not None and depth < self.max_depth:
+                    stack.append(_frame_label(frame))
+                    frame = frame.f_back
+                    depth += 1
+                if not stack:
+                    continue
+                stack.reverse()  # root -> leaf, the collapsed convention
+                key = ";".join(stack)
+                counts[key] = counts.get(key, 0) + 1
+                taken += 1
+            # Publish incrementally so a concurrent reader sees progress.
+            with self._lock:
+                self._counts = counts.copy()
+                self._samples = taken
+
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> int:
+        """Total thread-stack samples taken so far."""
+        return self._samples
+
+    def collapsed(self) -> dict[str, int]:
+        """Snapshot of ``collapsed stack -> sample count``."""
+        with self._lock:
+            return dict(self._counts)
+
+    def flamegraph_lines(self) -> list[str]:
+        """``stack count`` lines, heaviest first (flamegraph.pl input)."""
+        counts = self.collapsed()
+        return [
+            f"{stack} {n}"
+            for stack, n in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+
+    def to_payload(self, seconds: float | None = None) -> dict[str, Any]:
+        """The ``/v1/profile`` wire format (JSON-safe, mergeable)."""
+        return {
+            "hz": self.hz,
+            "seconds": seconds,
+            "samples": self.samples,
+            "stacks": self.collapsed(),
+        }
+
+
+def merge_collapsed(parts: list[dict[str, int]]) -> dict[str, int]:
+    """Add collapsed-stack counts from several profilers/processes."""
+    merged: dict[str, int] = {}
+    for part in parts:
+        for stack, n in part.items():
+            merged[stack] = merged.get(stack, 0) + int(n)
+    return dict(sorted(merged.items(), key=lambda kv: (-kv[1], kv[0])))
+
+
+def merge_profiles(payloads: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge :meth:`SamplingProfiler.to_payload` dicts (pool fan-in)."""
+    return {
+        "hz": payloads[0]["hz"] if payloads else DEFAULT_HZ,
+        "seconds": max((p.get("seconds") or 0.0 for p in payloads), default=0.0),
+        "samples": sum(int(p.get("samples", 0)) for p in payloads),
+        "stacks": merge_collapsed([p.get("stacks", {}) for p in payloads]),
+    }
+
+
+def profile_for(seconds: float, hz: float = DEFAULT_HZ) -> dict[str, Any]:
+    """Sample every thread for ``seconds`` and return the wire payload.
+
+    The blocking convenience behind ``GET /v1/profile?seconds=N`` —
+    runs in the handler thread while the server keeps answering on its
+    other threads, so the profile shows real request work.
+    """
+    seconds = min(float(seconds), MAX_PROFILE_SECONDS)
+    profiler = SamplingProfiler(hz=hz)
+    with profiler:
+        time.sleep(seconds)
+    return profiler.to_payload(seconds=seconds)
+
+
+def flamegraph_text(stacks: dict[str, int]) -> str:
+    """Collapsed counts as flamegraph.pl input text."""
+    lines = [
+        f"{stack} {n}"
+        for stack, n in sorted(stacks.items(), key=lambda kv: (-kv[1], kv[0]))
+    ]
+    return "\n".join(lines) + "\n" if lines else ""

@@ -63,10 +63,16 @@ class _SpanHandle:
     def __enter__(self) -> Span:
         state = _STATE.get()
         parent = state[1] if state is not None else None
+        if parent is not None:
+            parent_id = parent.span_id
+        else:
+            # Root span of this tracer: parent under a *remote* span when
+            # the pool's routing parent propagated one (X-Parent-Span).
+            parent_id = self._tracer.parent_span_id
         self._span = Span(
             trace_id=self._tracer.trace_id,
             span_id=new_span_id(),
-            parent_id=parent.span_id if parent is not None else None,
+            parent_id=parent_id,
             name=self._name,
             start=time.perf_counter(),
             attributes=self._attributes,
@@ -140,6 +146,7 @@ def tracing(
     trace_id: str | None = None,
     max_spans: int = DEFAULT_MAX_SPANS,
     observers: tuple = (),
+    parent_span_id: str | None = None,
     **attributes: Any,
 ) -> Iterator[Tracer]:
     """Collect spans from everything that runs inside the context.
@@ -147,10 +154,15 @@ def tracing(
     Opens a root span named ``name`` covering the whole block, yields the
     :class:`Tracer`, and restores the previous state on exit (contexts
     nest; an inner ``tracing`` shadows the outer one, as the request
-    handler relies on).
+    handler relies on).  ``parent_span_id`` parents the root span under a
+    remote span from another process (cross-process stitching).
     """
     tracer = Tracer(
-        name=name, trace_id=trace_id, max_spans=max_spans, observers=observers
+        name=name,
+        trace_id=trace_id,
+        max_spans=max_spans,
+        observers=observers,
+        parent_span_id=parent_span_id,
     )
     token = _STATE.set((tracer, None))
     try:

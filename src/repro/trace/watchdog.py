@@ -43,6 +43,10 @@ logger = logging.getLogger("repro.trace.watchdog")
 DELAY_VIOLATION = "guarantee.delay_violation"
 OPS_VIOLATION = "guarantee.ops_violation"
 
+#: Metrics counter bumped once per observed step — the burn-rate
+#: denominator, so a scraper computes ``rate(violations)/rate(steps)``.
+STEPS_OBSERVED = "guarantee.steps"
+
 #: Span name the watchdog consumes (what the enumeration loops emit).
 STEP_SPAN = "enumerate.step"
 
@@ -126,6 +130,7 @@ class Watchdog:
         span: Span | None = None,
     ) -> None:
         """Check one enumeration step against the budgets (thread-safe)."""
+        _metrics_count(STEPS_OBSERVED)
         with self._lock:
             self.steps_seen += 1
             delay_budget = self.budget_seconds
@@ -192,14 +197,21 @@ class Watchdog:
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready state for ``/v1/stats`` and the CLI summary."""
         with self._lock:
+            steps = self.steps_seen
+            violations = dict(self.violations)
             return {
-                "steps_seen": self.steps_seen,
+                "steps_seen": steps,
                 "budget_seconds": self.budget_seconds,
                 "multiple": self.multiple,
                 "ops_budget": self.ops_budget,
                 "ops_multiple": self.ops_multiple,
                 "calibrated": self.budget_seconds is not None,
-                "violations": dict(self.violations),
+                "violations": violations,
+                # violations per observed step: the SLO error-budget dial
+                "burn_rate": {
+                    kind: (n / steps if steps else 0.0)
+                    for kind, n in violations.items()
+                },
             }
 
     def __repr__(self) -> str:

@@ -1,0 +1,1 @@
+"""Tests for the pool-wide observability plane (repro.obs)."""

@@ -1,0 +1,83 @@
+"""The pool-wide guarantee block and per-endpoint latency summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import MetricsRegistry, merge_snapshots
+from repro.obs import aggregate_guarantee, endpoint_latency_summary
+from repro.obs.slo import ENDPOINT_PREFIX
+
+
+def _snapshot(steps=100, delay=0, ops=0, budget=0.01, calibrated=True):
+    return {
+        "steps_seen": steps,
+        "budget_seconds": budget,
+        "ops_budget": 500,
+        "calibrated": calibrated,
+        "violations": {"delay": delay, "ops": ops},
+    }
+
+
+def test_guarantee_holds_when_no_violations():
+    verdict = aggregate_guarantee({"0": _snapshot(), "1": _snapshot(steps=50)})
+    assert verdict["held"] is True
+    assert verdict["workers"] == 2
+    assert verdict["reporting"] == 2
+    assert verdict["calibrated"] == 2
+    assert verdict["steps_seen"] == 150
+    assert verdict["violations"] == {"delay": 0, "ops": 0}
+    assert verdict["burn_rate"] == {"delay": 0.0, "ops": 0.0}
+
+
+def test_guarantee_burns_on_any_worker_violation():
+    verdict = aggregate_guarantee(
+        {"0": _snapshot(), "1": _snapshot(steps=100, delay=3, ops=1)}
+    )
+    assert verdict["held"] is False
+    assert verdict["violations"] == {"delay": 3, "ops": 1}
+    assert verdict["burn_rate"]["delay"] == pytest.approx(3 / 200)
+    assert verdict["burn_rate"]["ops"] == pytest.approx(1 / 200)
+    # the offending worker is attributable
+    assert verdict["per_worker"]["1"]["violations"]["delay"] == 3
+
+
+def test_guarantee_never_held_without_reports():
+    verdict = aggregate_guarantee({"0": None, "1": None})
+    assert verdict["held"] is False
+    assert verdict["workers"] == 2
+    assert verdict["reporting"] == 0
+    assert aggregate_guarantee({})["held"] is False
+
+
+def test_guarantee_budget_spread():
+    verdict = aggregate_guarantee(
+        {"0": _snapshot(budget=0.01), "1": _snapshot(budget=0.04)}
+    )
+    assert verdict["budget_seconds"] == {"min": 0.01, "max": 0.04}
+
+
+def test_endpoint_latency_summary_from_merged_export():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for value in (0.001, 0.002, 0.004):
+        a.histogram(f"{ENDPOINT_PREFIX}/v1/test").record(value)
+    b.histogram(f"{ENDPOINT_PREFIX}/v1/test").record(0.008)
+    b.histogram(f"{ENDPOINT_PREFIX}/v1/next").record(0.5)
+    a.histogram("unrelated.histogram").record(1.0)
+    merged = merge_snapshots([a.export(), b.export()])
+
+    summary = endpoint_latency_summary(merged)
+    assert set(summary) == {"/v1/test", "/v1/next"}
+    test_ep = summary["/v1/test"]
+    assert test_ep["count"] == 4.0
+    assert test_ep["mean"] == pytest.approx(0.015 / 4)
+    assert test_ep["max"] == 0.008
+    # bucket-estimate bounds: p50 covers the 2nd smallest sample (0.002)
+    assert 0.002 <= test_ep["p50"] <= 0.004
+    assert 0.008 <= test_ep["p99"] <= 0.016
+    # the single-sample endpoint degenerates to that sample's bucket
+    assert 0.5 <= summary["/v1/next"]["p95"] <= 1.0
+
+
+def test_endpoint_latency_summary_empty_export():
+    assert endpoint_latency_summary(merge_snapshots([])) == {}

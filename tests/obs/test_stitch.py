@@ -1,0 +1,120 @@
+"""Stitching per-process trace payloads into one cross-process tree."""
+
+from __future__ import annotations
+
+from repro.obs import stitch_traces, stitched_to_chrome_trace
+from repro.trace import new_trace_id, span, tracing
+
+TID = new_trace_id()
+
+
+def _parent_and_worker_payloads():
+    """Simulate the pool hop: a pool.route trace + a worker request trace."""
+    with tracing("pool.route", trace_id=TID, endpoint="/v1/test") as parent:
+        with span("pool.forward", worker=1):
+            pass
+    parent_payload = parent.to_dict()
+    parent_payload["source"] = "parent"
+    route_span_id = parent_payload["tree"][0]["span_id"]
+
+    with tracing(
+        "POST /v1/test", trace_id=TID, parent_span_id=route_span_id
+    ) as worker:
+        with span("enumerate.step"):
+            pass
+    worker_payload = worker.to_dict()
+    worker_payload["source"] = "worker:1"
+    return parent_payload, worker_payload, route_span_id
+
+
+def test_stitch_builds_one_tree_across_processes():
+    parent_payload, worker_payload, route_span_id = _parent_and_worker_payloads()
+    stitched = stitch_traces([parent_payload, worker_payload])
+
+    assert stitched["stitched"] is True
+    assert stitched["trace_id"] == TID
+    assert stitched["spans"] == 4  # route + forward + request + step
+    assert stitched["sources"] == ["parent", "worker:1"]
+    # the root-process payload (no remote parent) labels the trace
+    assert stitched["name"] == "pool.route"
+
+    # one root: the pool.route span; the worker's request span nests
+    # under it via the propagated span id, keeping its own subtree
+    assert len(stitched["tree"]) == 1
+    root = stitched["tree"][0]
+    assert root["name"] == "pool.route"
+    assert root["source"] == "parent"
+    children = {child["name"]: child for child in root["children"]}
+    assert set(children) == {"pool.forward", "POST /v1/test"}
+    request = children["POST /v1/test"]
+    assert request["source"] == "worker:1"
+    assert request["parent_id"] == route_span_id
+    assert [c["name"] for c in request["children"]] == ["enumerate.step"]
+
+
+def test_stitch_rebases_onto_shared_wall_clock():
+    parent_payload, worker_payload, _ = _parent_and_worker_payloads()
+    # pretend the worker's process started 5 wall-clock seconds later
+    worker_payload["started_at"] = parent_payload["started_at"] + 5.0
+    stitched = stitch_traces([parent_payload, worker_payload])
+    flat: dict[str, dict] = {}
+
+    def walk(nodes):
+        for node in nodes:
+            flat[node["name"]] = node
+            walk(node["children"])
+
+    walk(stitched["tree"])
+    assert flat["POST /v1/test"]["start_seconds"] >= 5.0
+    assert flat["pool.route"]["start_seconds"] < 1.0
+    assert stitched["duration_seconds"] >= 5.0
+
+
+def test_stitch_reroots_orphans_instead_of_dropping():
+    with tracing("POST /v1/test", trace_id=TID, parent_span_id="feed" * 4) as t:
+        pass
+    payload = t.to_dict()
+    stitched = stitch_traces([payload])
+    assert stitched["spans"] == 1
+    assert len(stitched["tree"]) == 1  # unknown remote parent -> re-rooted
+    assert stitched["tree"][0]["name"] == "POST /v1/test"
+
+
+def test_stitch_ignores_other_trace_ids_and_dedupes():
+    parent_payload, worker_payload, _ = _parent_and_worker_payloads()
+    with tracing("unrelated", trace_id=new_trace_id()) as other:
+        pass
+    other_payload = other.to_dict()
+    stitched = stitch_traces(
+        [parent_payload, worker_payload, other_payload, dict(worker_payload)]
+    )
+    assert stitched["spans"] == 4  # resent worker payload deduped by span id
+    assert stitched["sources"] == ["parent", "worker:1"]
+
+
+def test_stitch_empty_input():
+    stitched = stitch_traces([])
+    assert stitched["stitched"] is True
+    assert stitched["spans"] == 0
+    assert stitched["tree"] == []
+
+
+def test_chrome_export_one_row_per_source():
+    parent_payload, worker_payload, _ = _parent_and_worker_payloads()
+    stitched = stitch_traces([parent_payload, worker_payload])
+    chrome = stitched_to_chrome_trace(stitched)
+    events = chrome["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(metadata) == 2  # one process row per source
+    assert len(spans) == stitched["spans"]
+    pid_by_source = {
+        e["args"]["name"].removeprefix("repro "): e["pid"] for e in metadata
+    }
+    for event in spans:
+        assert event["ts"] >= 0.0
+        assert event["dur"] >= 0.0
+    route = next(e for e in spans if e["name"] == "pool.route")
+    request = next(e for e in spans if e["name"] == "POST /v1/test")
+    assert route["pid"] == pid_by_source["parent"]
+    assert request["pid"] == pid_by_source["worker:1"]

@@ -1,0 +1,118 @@
+"""The sampling profiler: sampling, collapsed output, cross-process merge."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.trace.profiler import (
+    DEFAULT_HZ,
+    MAX_PROFILE_SECONDS,
+    SamplingProfiler,
+    flamegraph_text,
+    merge_collapsed,
+    merge_profiles,
+    profile_for,
+)
+
+
+def _spin(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(i * i for i in range(500))
+
+
+def test_profiler_samples_a_busy_thread():
+    stop = threading.Event()
+    busy = threading.Thread(target=_spin, args=(stop,), name="busy")
+    busy.start()
+    try:
+        with SamplingProfiler(hz=500) as prof:
+            time.sleep(0.3)
+    finally:
+        stop.set()
+        busy.join()
+    assert prof.samples > 0
+    stacks = prof.collapsed()
+    assert stacks
+    # the busy thread's workload frame shows up, root -> leaf
+    assert any("_spin" in stack for stack in stacks)
+    for stack, count in stacks.items():
+        assert count > 0
+        assert ";" in stack or stack  # collapsed convention
+    # the sampler never records its own stack
+    assert not any("SamplingProfiler._run" in stack for stack in stacks)
+
+
+def test_profiler_restart_accumulates():
+    prof = SamplingProfiler(hz=500)
+    stop = threading.Event()
+    busy = threading.Thread(target=_spin, args=(stop,))
+    busy.start()
+    try:
+        with prof:
+            time.sleep(0.2)
+        first = prof.samples
+        assert first > 0
+        with prof:
+            time.sleep(0.2)
+    finally:
+        stop.set()
+        busy.join()
+    assert prof.samples > first
+
+
+def test_profiler_double_start_rejected():
+    prof = SamplingProfiler(hz=10)
+    prof.start()
+    try:
+        with pytest.raises(RuntimeError):
+            prof.start()
+    finally:
+        prof.stop()
+    prof.stop()  # idempotent
+
+
+def test_profiler_rejects_bad_hz():
+    with pytest.raises(ValueError):
+        SamplingProfiler(hz=0)
+
+
+def test_flamegraph_lines_heaviest_first():
+    prof = SamplingProfiler()
+    with prof._lock:
+        prof._counts = {"a;b": 2, "a;c": 5, "a": 1}
+        prof._samples = 8
+    lines = prof.flamegraph_lines()
+    assert lines == ["a;c 5", "a;b 2", "a 1"]
+    assert flamegraph_text(prof.collapsed()).splitlines() == lines
+
+
+def test_merge_collapsed_adds_counts():
+    merged = merge_collapsed([{"a;b": 2, "a": 1}, {"a;b": 3, "c": 4}])
+    assert merged == {"a;b": 5, "a": 1, "c": 4}
+
+
+def test_merge_profiles_wire_payloads():
+    one = {"hz": DEFAULT_HZ, "seconds": 1.0, "samples": 3, "stacks": {"a": 3}}
+    two = {"hz": DEFAULT_HZ, "seconds": 1.0, "samples": 2, "stacks": {"a": 1, "b": 1}}
+    merged = merge_profiles([one, two])
+    assert merged["samples"] == 5
+    assert merged["stacks"] == {"a": 4, "b": 1}
+
+
+def test_profile_for_caps_duration_and_reports():
+    stop = threading.Event()
+    busy = threading.Thread(target=_spin, args=(stop,))
+    busy.start()
+    try:
+        payload = profile_for(0.2, hz=500)
+    finally:
+        stop.set()
+        busy.join()
+    assert payload["hz"] == 500
+    assert payload["seconds"] == 0.2
+    assert payload["samples"] > 0
+    assert payload["stacks"]
+    assert MAX_PROFILE_SECONDS == 30.0
